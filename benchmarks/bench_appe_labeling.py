@@ -1,0 +1,27 @@
+"""Appendix E: device-identity inference over crowdsourced metadata.
+
+Paper: 25,033 devices with >=2 metadata pieces fed to an LLM; 24,998
+(99.9%) received non-empty vendor/category labels.  Our offline rule
+cascade is evaluated against the generator's ground truth.
+"""
+
+from repro.inspector.labels import DeviceLabeler
+from repro.report.tables import render_comparison
+
+
+def bench_appe_labeling(benchmark, inspector_dataset):
+    labeler = DeviceLabeler.from_dataset(inspector_dataset)
+    metrics = benchmark.pedantic(
+        labeler.evaluate, args=(inspector_dataset,), rounds=1, iterations=1
+    )
+    print()
+    print(render_comparison([
+        ("devices labeled (vendor) %", "99.9% (24,998/25,033)",
+         f"{metrics['vendor_labeled']:.1%}"),
+        ("vendor accuracy vs ground truth", "n/a (no ground truth in paper)",
+         f"{metrics['vendor_accuracy']:.1%}"),
+        ("category labeled %", "-", f"{metrics['category_labeled']:.1%}"),
+        ("category accuracy", "-", f"{metrics['category_accuracy']:.1%}"),
+    ], title="Appendix E — device identity inference"))
+    assert metrics["vendor_labeled"] > 0.95
+    assert metrics["vendor_accuracy"] > 0.8

@@ -1,0 +1,43 @@
+"""§6.1/§6.2: dissemination of local-network data beyond the LAN.
+
+Paper: 9% of the 2,335 apps scan the home network (mDNS 6.0%, SSDP
+4.0%, NetBIOS 10 apps); 6 IoT apps relay device MACs; 28 apps upload
+the router MAC, 36 the router SSID, 15 the Wi-Fi MAC; 13 companion
+apps receive MACs in downlink traffic; SDK case studies: innosdk,
+AppDynamics (base64 side channel), umlaut insightCore, MyTracker.
+"""
+
+from repro.core.exfiltration import audit_app_runs, sdk_case_studies
+from repro.report.tables import render_comparison, render_table
+
+
+def bench_sec6_exfiltration(benchmark, app_runs):
+    audit = benchmark.pedantic(audit_app_runs, args=(app_runs,), rounds=1, iterations=1)
+    summary = audit.summary()
+    print()
+    print(render_comparison([
+        ("apps analyzed", 2335, summary["total_apps"]),
+        ("apps scanning the LAN %", 9.0, round(summary["scanners_pct"], 1)),
+        ("apps using mDNS %", 6.0, round(summary["mdns_pct"], 1)),
+        ("apps using SSDP %", 4.0, round(summary["ssdp_pct"], 1)),
+        ("apps using NetBIOS", 10, summary["netbios_apps"]),
+        ("IoT apps relaying device MACs", 6, summary["device_mac_relaying_iot_apps"]),
+        ("apps uploading router MAC", 28, summary["router_mac_apps"]),
+        ("apps uploading router SSID", 36, summary["router_ssid_apps"]),
+        ("apps uploading Wi-Fi MAC", 15, summary["wifi_mac_apps"]),
+        ("apps receiving downlink MACs", 13, summary["downlink_mac_apps"]),
+        ("apps bypassing permissions via side channel", ">0", summary["side_channel_apps"]),
+    ], title="§6.1 exfiltration — paper vs measured"))
+
+    studies = sdk_case_studies(audit)
+    rows = [
+        (sdk, ", ".join(data["endpoints"]), ", ".join(data["identifiers"]))
+        for sdk, data in studies.items()
+    ]
+    print()
+    print(render_table(["SDK", "endpoints", "identifiers"], rows,
+                       title="§6.2 SDK case studies"))
+    assert abs(summary["mdns_pct"] - 6.0) < 1.0
+    assert summary["netbios_apps"] == 10
+    assert "innosdk" in studies and "AppDynamics" in studies
+    assert studies["AppDynamics"]["base64_encoded"]

@@ -1,0 +1,21 @@
+"""Table 3: the testbed inventory (93 devices, 78 models, 7 categories)."""
+
+from collections import Counter
+
+from repro.devices.catalog import TESTBED_CATEGORY_COUNTS, build_catalog
+from repro.report.tables import render_comparison, render_table3
+
+
+def bench_table3_inventory(benchmark):
+    catalog = benchmark(build_catalog)
+    print()
+    print(render_table3(catalog))
+    counts = Counter(profile.category for profile in catalog)
+    rows = [("total devices", 93, len(catalog)),
+            ("unique models", 78, len({(p.vendor, p.model) for p in catalog}))]
+    for category, expected in sorted(TESTBED_CATEGORY_COUNTS.items()):
+        rows.append((category, expected, counts[category]))
+    print()
+    print(render_comparison(rows, title="Table 3 — paper vs measured"))
+    assert len(catalog) == 93
+    assert dict(counts) == TESTBED_CATEGORY_COUNTS

@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures: heavy artifacts built once per session.
+
+The lab run compresses the paper's multi-day capture into 40 simulated
+minutes (every periodic behaviour fires many times; daily behaviours
+fire once early).  Each bench prints the paper's reported value next to
+the measured one via :func:`repro.report.tables.render_comparison`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dataset import generate_app_dataset
+from repro.apps.runtime import InstrumentedPhone
+from repro.core.responses import category_of_profile
+from repro.devices.behaviors import build_testbed
+from repro.scan.portscan import PortScanner
+
+PASSIVE_DURATION = 2400.0  # simulated seconds
+
+
+@pytest.fixture(scope="session")
+def lab_run():
+    """(testbed, decoded_packets, device_maps) after the passive phase."""
+    testbed = build_testbed(seed=7)
+    testbed.run(PASSIVE_DURATION)
+    packets = testbed.lan.capture.decoded()
+    maps = {
+        "macs": {str(node.mac): node.name for node in testbed.devices},
+        "vendors": {node.name: node.vendor for node in testbed.devices},
+        "categories": {node.name: category_of_profile(node.profile) for node in testbed.devices},
+    }
+    return testbed, packets, maps
+
+
+@pytest.fixture(scope="session")
+def scan_report(lab_run):
+    testbed, _, _ = lab_run
+    scanner = PortScanner()
+    testbed.lan.attach(scanner)
+    keep = testbed.lan.capture.keep_bytes
+    testbed.lan.capture.keep_bytes = False
+    try:
+        report = scanner.sweep(targets=testbed.devices)
+    finally:
+        testbed.lan.capture.keep_bytes = keep
+        testbed.lan.detach(scanner)
+    return report
+
+
+@pytest.fixture(scope="session")
+def app_runs(lab_run):
+    """All 2,335 apps executed on the instrumented phone."""
+    testbed, _, _ = lab_run
+    apps = generate_app_dataset(seed=11)
+    phone = InstrumentedPhone()
+    testbed.lan.attach(phone)
+    keep = testbed.lan.capture.keep_bytes
+    testbed.lan.capture.keep_bytes = False
+    try:
+        results = [phone.run_app(app) for app in apps]
+    finally:
+        testbed.lan.capture.keep_bytes = keep
+        testbed.lan.detach(phone)
+    return results
+
+
+@pytest.fixture(scope="session")
+def inspector_dataset():
+    from repro.inspector.generate import generate_dataset
+
+    return generate_dataset(seed=23)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""§6.3 end to end: fingerprint households from mDNS/SSDP identifiers.
+
+Generates the synthetic IoT-Inspector-style corpus, extracts names /
+UUIDs / MAC addresses from the raw payloads, prints Table 2, and then
+*plays the attacker*: given one household's extracted identifier set,
+re-identifies it among all 3,860 households.
+
+Run:  python examples/household_fingerprinting.py
+"""
+
+from repro.core.fingerprint import fingerprint_households
+from repro.inspector.entropy import analyze_dataset, device_identifiers
+from repro.inspector.generate import generate_dataset
+from repro.report.tables import render_table2
+
+
+def main() -> None:
+    print("Generating the crowdsourced corpus (3,860 households)...")
+    dataset = generate_dataset(seed=23)
+    report = fingerprint_households(dataset=dataset)
+    print()
+    print(render_table2(report))
+
+    # --- the attack ---------------------------------------------------------
+    print("\n== Re-identification demo ==")
+    analysis = analyze_dataset(dataset)
+
+    # Build the attacker's index: fingerprint -> household ids.
+    index = {}
+    for row in analysis.rows.values():
+        for household_id, fingerprint in row.fingerprints.items():
+            index.setdefault(fingerprint, set()).add(household_id)
+
+    # Pick a victim household with a UUID-exposing device and pretend we
+    # only observed its local mDNS/SSDP traffic (e.g. from a mobile SDK).
+    victim = next(
+        household for household in dataset.households
+        if any(device_identifiers(device)["uuid"] for device in household.devices)
+    )
+    observed = set()
+    for device in victim.devices:
+        for values in device_identifiers(device).values():
+            observed |= values
+    print(f"victim: {victim.user_id} with {victim.device_count} devices")
+    print(f"observed identifiers: {sorted(observed)[:4]}{'...' if len(observed) > 4 else ''}")
+
+    candidates = set()
+    for fingerprint, households in index.items():
+        if fingerprint and fingerprint <= observed:
+            candidates |= households if len(candidates) == 0 else candidates & households
+    matches = {
+        household_id for fingerprint, households in index.items()
+        if fingerprint and fingerprint <= observed for household_id in households
+    }
+    print(f"households matching the observed fingerprint: {len(matches & {victim.user_id}) and sorted(matches)[:3]}")
+    if matches == {victim.user_id}:
+        print("=> the household is UNIQUELY identified by its broadcast identifiers")
+    else:
+        print(f"=> fingerprint narrows 3,860 households down to {len(matches)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The §2 threat model, played out: an attacker node inside the LAN.
+
+A compromised device (think: spyware on a phone, or a malicious IoT
+gadget behind the firewall) joins the simulated home network and, using
+nothing but standard discovery protocols:
+
+1. harvests every device's MAC address via an ARP sweep,
+2. collects hostnames/UUIDs/models via mDNS and SSDP,
+3. extracts the home's GPS coordinates from a TP-Link plug, and
+4. toggles that plug — no authentication required (§5.1).
+
+Run:  python examples/local_attacker.py
+"""
+
+import ipaddress
+
+from repro.devices.behaviors import build_testbed
+from repro.net.decode import DecodedPacket
+from repro.protocols.dns import DnsMessage
+from repro.protocols.mdns import MDNS_GROUP_V4, MDNS_PORT, ServiceAdvertisement, mdns_query
+from repro.protocols.ssdp import SSDP_GROUP_V4, SSDP_PORT, SsdpMessage
+from repro.protocols.tplink_shp import TPLINK_SHP_PORT, TplinkShpMessage
+from repro.report.tables import render_table
+from repro.simnet.node import Node
+
+
+class AttackerNode(Node):
+    """A quiet node that only listens and probes."""
+
+    def __init__(self):
+        super().__init__("attacker", "02:66:6f:6f:00:01", "0.0.0.0", vendor="?")
+        self.inbox = []
+        self.add_raw_hook(lambda _node, packet: self.inbox.append(packet))
+
+    def drain(self):
+        packets, self.inbox = self.inbox, []
+        return packets
+
+
+def main() -> None:
+    testbed = build_testbed(seed=7)
+    testbed.run(30.0)
+    attacker = AttackerNode()
+    testbed.lan.attach(attacker)
+
+    # -- 1. ARP sweep ----------------------------------------------------------
+    print("== 1. ARP sweep of the /24 ==")
+    for host in ipaddress.ip_network(testbed.lan.subnet).hosts():
+        if str(host) != attacker.ip:
+            attacker.send_arp_request(str(host))
+    macs = {}
+    for packet in attacker.drain():
+        if packet.arp is not None and packet.arp.op == 2:
+            macs[packet.arp.sender_ip] = str(packet.arp.sender_mac)
+    print(f"   harvested {len(macs)} MAC addresses (persistent device IDs)")
+
+    # -- 2. mDNS + SSDP --------------------------------------------------------
+    print("== 2. mDNS/SSDP harvesting ==")
+    attacker.join_group(MDNS_GROUP_V4)
+    attacker.join_group(SSDP_GROUP_V4)
+    query = mdns_query(["_googlecast._tcp.local", "_hap._tcp.local", "_hue._tcp.local",
+                        "_amzn-alexa._tcp.local", "_airplay._tcp.local"])
+    attacker.send_udp(MDNS_GROUP_V4, MDNS_PORT, query.encode(), src_port=MDNS_PORT)
+    attacker.send_udp(SSDP_GROUP_V4, SSDP_PORT, SsdpMessage.msearch().encode(), src_port=50000)
+    inventory = []
+    for packet in attacker.drain():
+        if packet.udp is None:
+            continue
+        if packet.udp.src_port == MDNS_PORT:
+            try:
+                message = DnsMessage.decode(packet.udp.payload)
+            except ValueError:
+                continue
+            for advert in ServiceAdvertisement.from_response(message):
+                inventory.append((str(packet.frame.src), advert.instance_name, advert.hostname))
+        elif packet.udp.src_port == SSDP_PORT:
+            try:
+                message = SsdpMessage.decode(packet.udp.payload)
+            except ValueError:
+                continue
+            inventory.append((str(packet.frame.src), message.server or "", message.uuid() or ""))
+    print(render_table(["MAC", "advertised identity", "hostname / UUID"],
+                       inventory[:12], title="   harvested inventory (first 12)"))
+
+    # -- 3. geolocation via TPLINK-SHP ----------------------------------------
+    print("== 3. TPLINK-SHP geolocation extraction ==")
+    attacker.send_udp("255.255.255.255", TPLINK_SHP_PORT,
+                      TplinkShpMessage.get_sysinfo_query().encode(), src_port=50001)
+    plug_ip = None
+    for packet in attacker.drain():
+        if packet.udp and packet.udp.src_port == TPLINK_SHP_PORT:
+            info = TplinkShpMessage.decode(packet.udp.payload).sysinfo
+            if info:
+                plug_ip = packet.src_ip
+                print(f"   {info['alias']} at {packet.src_ip}: "
+                      f"lat={info['latitude']}, lon={info['longitude']} "
+                      f"(the home's GPS position, in plaintext)")
+
+    # -- 4. unauthenticated control --------------------------------------------
+    print("== 4. unauthenticated plug control ==")
+    if plug_ip is not None:
+        plug = testbed.lan.node_by_ip(plug_ip)
+        command = TplinkShpMessage.set_relay_state(True).encode("tcp")
+        reply = TplinkShpMessage({"system": {"set_relay_state": {"err_code": 0}}}).encode("tcp")
+        testbed.lan.tcp_exchange(attacker, plug, TPLINK_SHP_PORT, [command], [reply])
+        testbed.run(1.0)  # let the scheduled exchange play out
+        print(f"   sent set_relay_state(on) to {plug.name} — accepted without any credentials")
+    print("\nEverything above used standard protocols from inside the LAN —")
+    print("exactly the zero-trust argument of §7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: run the full study pipeline on the simulated MonIoTr lab.
+
+Builds the 93-device testbed, collects 10 simulated minutes of passive
+traffic, deploys honeypots, runs the active scans and a sample of the
+mobile-app dataset, then prints the headline numbers next to the
+paper's.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StudyPipeline
+from repro.report.tables import render_comparison, render_figure2, render_table1
+
+
+def main() -> None:
+    pipeline = StudyPipeline(seed=7, passive_duration=600.0, app_sample_size=60)
+    print("Building the simulated MonIoTr lab and collecting traffic...")
+    report = pipeline.run()
+
+    print(f"\nCaptured {report.capture_packets} packets at the AP; "
+          f"{report.honeypot_contacts} honeypot contacts.\n")
+
+    summary = report.device_graph.summary()
+    print(render_comparison([
+        ("devices communicating locally (Fig. 1)", "43/93",
+         f"{summary['devices_communicating']}/{summary['devices_total']}"),
+        ("classifier disagreement (Fig. 3)", "16%",
+         f"{report.crossval.disagree_fraction:.0%}"),
+        ("devices with open ports (§4.2)", 61,
+         report.scan_report.devices_with_open_ports),
+        ("local TLS devices (§5.2)", 32, report.threat.tls_device_count),
+        ("periodic discovery flows (App. D.1)", "88%",
+         f"{report.periodicity.periodic_fraction:.0%}"),
+    ], title="Headline results — paper vs this run"))
+
+    print()
+    print(render_figure2(report.census, top=15))
+    print()
+    print(render_table1(report.exposure))
+
+
+if __name__ == "__main__":
+    main()

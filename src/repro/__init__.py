@@ -1,0 +1,46 @@
+"""repro — a full reproduction of "In the Room Where It Happens:
+Characterizing Local Communication and Threats in Smart Homes" (IMC '23).
+
+Quick start::
+
+    from repro import StudyPipeline
+
+    pipeline = StudyPipeline(seed=7, passive_duration=900.0)
+    report = pipeline.run()
+    print(report.device_graph.summary())
+
+Subpackages
+-----------
+``repro.net``        packet codecs, pcap I/O, flows, local-traffic filter
+``repro.protocols``  application-layer codecs (mDNS, SSDP, DHCP, ...)
+``repro.simnet``     the discrete-event home-LAN simulator
+``repro.devices``    the 93-device MonIoTr testbed catalog + behaviours
+``repro.scan``       nmap/Nessus analogues
+``repro.honeypot``   SSDP/mDNS/HTTP/telnet honeypots
+``repro.classify``   tshark-like and nDPI-like traffic classifiers
+``repro.apps``       the 2,335-app dataset + instrumented Android runtime
+``repro.inspector``  the crowdsourced (IoT Inspector-style) dataset
+``repro.core``       the paper's analyses (one module per table/figure)
+``repro.report``     ASCII table rendering
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.pipeline import StudyPipeline, StudyReport
+from repro.devices.behaviors import build_testbed, Testbed
+from repro.devices.catalog import build_catalog
+from repro.apps.dataset import generate_app_dataset
+from repro.inspector.generate import generate_dataset as generate_inspector_dataset
+from repro.core.fingerprint import fingerprint_households
+
+__all__ = [
+    "__version__",
+    "StudyPipeline",
+    "StudyReport",
+    "build_testbed",
+    "Testbed",
+    "build_catalog",
+    "generate_app_dataset",
+    "generate_inspector_dataset",
+    "fingerprint_households",
+]

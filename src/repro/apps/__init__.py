@@ -1,0 +1,36 @@
+"""Mobile-app dataset and instrumented-runtime analysis.
+
+Reproduces §3.2/§4.3/§6.1/§6.2: a 2,335-app dataset (987 IoT companion
++ 1,348 regular apps), an AppCensus-style instrumented Android runtime
+that records permission-protected API access, local network scanning
+(mDNS/SSDP/NetBIOS/ARP over real frames on the simulated LAN), and
+decrypted cloud uploads — plus faithful models of the named third-party
+SDKs (innosdk, AppDynamics, Umlaut insightCore, MyTracker, Amplitude).
+"""
+
+from repro.apps.appmodel import AppModel, SdkModel, AppCategory, Identifier
+from repro.apps.android import AndroidApi, AndroidPermission, AndroidVersion, PermissionDenied
+from repro.apps.sdks import SDK_REGISTRY, sdk_by_name
+from repro.apps.dataset import generate_app_dataset, DATASET_SIZE, IOT_APP_COUNT, REGULAR_APP_COUNT
+from repro.apps.runtime import InstrumentedPhone, AppRunResult, CloudFlow, ApiAccess
+
+__all__ = [
+    "AppModel",
+    "SdkModel",
+    "AppCategory",
+    "Identifier",
+    "AndroidApi",
+    "AndroidPermission",
+    "AndroidVersion",
+    "PermissionDenied",
+    "SDK_REGISTRY",
+    "sdk_by_name",
+    "generate_app_dataset",
+    "DATASET_SIZE",
+    "IOT_APP_COUNT",
+    "REGULAR_APP_COUNT",
+    "InstrumentedPhone",
+    "AppRunResult",
+    "CloudFlow",
+    "ApiAccess",
+]

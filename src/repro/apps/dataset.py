@@ -1,0 +1,285 @@
+"""The 2,335-app dataset (§3.2): named case studies + synthetic population.
+
+The named apps are modeled from the paper's case studies; the rest of
+the population is generated with the behaviour rates the paper reports:
+9% of apps scan the home network (mDNS 6.0%, SSDP 4.0%, NetBIOS 0.5% —
+10 apps, only 2 of them IoT), 25% use TLS with local devices, 28 apps
+upload the router MAC, 36 the router SSID, 15 the phone's Wi-Fi MAC,
+and 6 IoT apps relay IoT-device MACs to the cloud (§6.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.apps.appmodel import (
+    AppCategory,
+    AppModel,
+    ExfilRule,
+    Identifier,
+    ScanProtocol,
+)
+from repro.apps.android import AndroidPermission
+from repro.apps.sdks import sdk_by_name
+
+DATASET_SIZE = 2335
+IOT_APP_COUNT = 987
+REGULAR_APP_COUNT = 1348
+
+_BASE_PERMISSIONS = [
+    AndroidPermission.INTERNET.value,
+    AndroidPermission.ACCESS_WIFI_STATE.value,
+]
+_MULTICAST = AndroidPermission.CHANGE_WIFI_MULTICAST_STATE.value
+_LOCATION = AndroidPermission.ACCESS_COARSE_LOCATION.value
+
+
+def named_case_study_apps() -> List[AppModel]:
+    """The apps the paper discusses by name."""
+    return [
+        AppModel(
+            package="com.amazon.dee.app",
+            name="Amazon Alexa",
+            category=AppCategory.IOT,
+            permissions=_BASE_PERMISSIONS + [_MULTICAST, _LOCATION],
+            scan_protocols=[ScanProtocol.MDNS, ScanProtocol.SSDP, ScanProtocol.TPLINK_SHP],
+            companion_vendors=["Amazon", "TP-Link", "Philips", "Meross"],
+            uses_tls_to_devices=True,
+            receives_downlink_macs=True,
+            exfil=[
+                # §6.1: collects MACs of devices configured on Alexa, the
+                # Philips Bridge ID, and the MAC of the *unpaired* Meross
+                # plug; also TP-Link device/OEM ids from TPLINK-SHP.
+                ExfilRule("device-metrics-us.amazon.com",
+                          [Identifier.DEVICE_MAC, Identifier.DEVICE_UUID,
+                           Identifier.TPLINK_IDS, Identifier.DEVICE_MODEL],
+                          party="first"),
+            ],
+        ),
+        AppModel(
+            package="com.tuya.smart",
+            name="Tuya Smart",
+            category=AppCategory.IOT,
+            permissions=_BASE_PERMISSIONS + [_MULTICAST],
+            sdks=[sdk_by_name("TuyaSmartSDK")],
+            scan_protocols=[ScanProtocol.MDNS],
+            companion_vendors=["Tuya"],
+            uses_tls_to_devices=True,
+            receives_downlink_macs=True,
+        ),
+        AppModel(
+            package="com.tplink.kasa_android",
+            name="TP-Link Kasa",
+            category=AppCategory.IOT,
+            permissions=_BASE_PERMISSIONS + [_MULTICAST, _LOCATION],
+            scan_protocols=[ScanProtocol.TPLINK_SHP],
+            companion_vendors=["TP-Link"],
+            uses_tls_to_devices=True,
+            exfil=[
+                # §6.1: uploads TPLINK-SHP identifiers plus the
+                # geolocation of the plug and the mobile device.
+                ExfilRule("use1-api.tplinkra.com",
+                          [Identifier.TPLINK_IDS, Identifier.GEOLOCATION,
+                           Identifier.DEVICE_MAC],
+                          party="first"),
+            ],
+        ),
+        AppModel(
+            package="com.blueair.android",
+            name="Blueair Friend",
+            category=AppCategory.IOT,
+            permissions=_BASE_PERMISSIONS + [_MULTICAST, _LOCATION],
+            scan_protocols=[ScanProtocol.MDNS],
+            companion_vendors=["Blueair"],
+            uses_tls_to_devices=True,
+            exfil=[
+                # §6.1: purifier MAC + coarse geolocation + AAID — linking
+                # a persistent ID to a resettable one defeats resets.
+                ExfilRule("api.blueair.io",
+                          [Identifier.DEVICE_MAC, Identifier.GEOLOCATION, Identifier.AAID],
+                          party="first"),
+            ],
+        ),
+        AppModel(
+            package="com.google.android.apps.chromecast.app",
+            name="Google Home",
+            category=AppCategory.IOT,
+            permissions=_BASE_PERMISSIONS + [_MULTICAST, _LOCATION],
+            scan_protocols=[ScanProtocol.MDNS, ScanProtocol.SSDP, ScanProtocol.TPLINK_SHP],
+            companion_vendors=["Google", "TP-Link"],
+            uses_tls_to_devices=True,
+            receives_downlink_macs=True,
+            exfil=[
+                # §6.1: the Nest Hub shares the Wi-Fi AP MAC with the
+                # Chromecast app even when app and device are not paired.
+                ExfilRule("clients3.google.com", [Identifier.ROUTER_MAC], party="first"),
+            ],
+        ),
+        AppModel(
+            package="com.cnn.mobile.android.phone",
+            name="CNN (v6.18.3)",
+            category=AppCategory.REGULAR,
+            permissions=_BASE_PERMISSIONS + [_MULTICAST],
+            sdks=[sdk_by_name("AppDynamics")],
+            scan_protocols=[ScanProtocol.SSDP],  # casting feature
+        ),
+        AppModel(
+            package="com.luckyapp.winner",
+            name="Lucky Time - Win Rewards Every Day",
+            category=AppCategory.REGULAR,
+            permissions=_BASE_PERMISSIONS,
+            sdks=[sdk_by_name("innosdk")],
+        ),
+        AppModel(
+            package="org.speedspot.speedspotspeedtest",
+            name="Simple Speedcheck",
+            category=AppCategory.REGULAR,
+            permissions=_BASE_PERMISSIONS + [_LOCATION],
+            sdks=[sdk_by_name("umlaut-insightCore")],
+        ),
+        AppModel(
+            package="com.pzolee.networkscanner",
+            name="Device Finder",
+            category=AppCategory.REGULAR,
+            permissions=_BASE_PERMISSIONS,
+            scan_protocols=[ScanProtocol.NETBIOS, ScanProtocol.ARP],
+        ),
+        AppModel(
+            package="com.myprog.netscan",
+            name="Network Scanner",
+            category=AppCategory.REGULAR,
+            permissions=_BASE_PERMISSIONS,
+            scan_protocols=[ScanProtocol.NETBIOS, ScanProtocol.ARP],
+        ),
+    ]
+
+
+def generate_app_dataset(seed: int = 11) -> List[AppModel]:
+    """Generate all 2,335 apps deterministically."""
+    rng = random.Random(seed)
+    apps = named_case_study_apps()
+    iot_count = sum(1 for app in apps if app.category is AppCategory.IOT)
+    regular_count = len(apps) - iot_count
+
+    # Behaviour quotas for the synthetic remainder (paper marginals
+    # minus what the named apps already contribute).
+    mdns_quota = round(DATASET_SIZE * 0.06) - sum(
+        1 for app in apps if ScanProtocol.MDNS in app.all_scan_protocols
+    )
+    ssdp_quota = round(DATASET_SIZE * 0.04) - sum(
+        1 for app in apps if ScanProtocol.SSDP in app.all_scan_protocols
+    )
+    netbios_quota = 10 - sum(
+        1 for app in apps if ScanProtocol.NETBIOS in app.all_scan_protocols
+    )
+    tls_quota = round(DATASET_SIZE * 0.25) - sum(1 for app in apps if app.uses_tls_to_devices)
+    router_mac_quota = 28 - sum(
+        1 for app in apps
+        if any(Identifier.ROUTER_MAC in rule.identifiers for rule in app.all_exfil_rules)
+    )
+    router_ssid_quota = 36 - sum(
+        1 for app in apps
+        if any(Identifier.ROUTER_SSID in rule.identifiers for rule in app.all_exfil_rules)
+    )
+    wifi_mac_quota = 15
+    device_mac_iot_quota = 6 - sum(
+        1 for app in apps
+        if app.category is AppCategory.IOT
+        and any(Identifier.DEVICE_MAC in rule.identifiers for rule in app.all_exfil_rules)
+    )
+    downlink_quota = 13 - sum(1 for app in apps if app.receives_downlink_macs)
+    mytracker_quota = 4  # "non-IoT apps from the same developer" (§6.1)
+    amplitude_quota = 3
+
+    iot_vendor_pool = [
+        "Amazon", "Google", "TP-Link", "Tuya", "Philips", "Ring", "Wyze",
+        "Meross", "Samsung", "LG", "Arlo", "D-Link", "Sengled", "Wiz",
+        "Yeelight", "SmartThings", "Belkin", "IKEA", "Aqara",
+    ]
+    iot_words = ["smart", "home", "cam", "plug", "light", "hub", "sense", "air", "secure"]
+    regular_words = ["chat", "news", "game", "photo", "fitness", "music", "shop", "weather", "social"]
+
+    index = 0
+    while len(apps) < DATASET_SIZE:
+        index += 1
+        is_iot = iot_count < IOT_APP_COUNT and (
+            regular_count >= REGULAR_APP_COUNT or rng.random() < 0.42
+        )
+        if is_iot:
+            iot_count += 1
+            vendor = rng.choice(iot_vendor_pool)
+            word = rng.choice(iot_words)
+            app = AppModel(
+                package=f"com.{vendor.lower().replace('-', '')}.{word}{index}",
+                name=f"{vendor} {word.title()} {index}",
+                category=AppCategory.IOT,
+                permissions=list(_BASE_PERMISSIONS),
+                companion_vendors=[vendor],
+            )
+        else:
+            regular_count += 1
+            word = rng.choice(regular_words)
+            app = AppModel(
+                package=f"io.app{index}.{word}",
+                name=f"{word.title()} App {index}",
+                category=AppCategory.REGULAR,
+                permissions=list(_BASE_PERMISSIONS),
+            )
+
+        # Assign scan behaviours until quotas drain.  Companion apps are
+        # likelier to scan (their service requires discovery, §6.1).
+        scan_bias = 2.5 if app.category is AppCategory.IOT else 1.0
+        remaining = DATASET_SIZE - len(apps)
+        if mdns_quota > 0 and rng.random() < scan_bias * mdns_quota / max(remaining, 1):
+            app.scan_protocols.append(ScanProtocol.MDNS)
+            app.permissions.append(_MULTICAST)
+            mdns_quota -= 1
+        if ssdp_quota > 0 and rng.random() < scan_bias * ssdp_quota / max(remaining, 1):
+            app.scan_protocols.append(ScanProtocol.SSDP)
+            if _MULTICAST not in app.permissions:
+                app.permissions.append(_MULTICAST)
+            ssdp_quota -= 1
+        if netbios_quota > 0 and app.category is AppCategory.REGULAR and rng.random() < netbios_quota / max(remaining, 1):
+            app.scan_protocols.append(ScanProtocol.NETBIOS)
+            netbios_quota -= 1
+        if tls_quota > 0 and rng.random() < (3.0 if app.category is AppCategory.IOT else 0.4) * tls_quota / max(remaining, 1):
+            app.uses_tls_to_devices = True
+            tls_quota -= 1
+        if router_ssid_quota > 0 and rng.random() < router_ssid_quota / max(remaining, 1):
+            app.permissions.append(_LOCATION)
+            app.exfil.append(
+                ExfilRule(f"analytics.app{index}.io", [Identifier.ROUTER_SSID], party="third")
+            )
+            router_ssid_quota -= 1
+        if router_mac_quota > 0 and rng.random() < router_mac_quota / max(remaining, 1):
+            app.exfil.append(
+                ExfilRule(f"metrics.app{index}.io", [Identifier.ROUTER_MAC], party="third")
+            )
+            router_mac_quota -= 1
+        if wifi_mac_quota > 0 and rng.random() < wifi_mac_quota / max(remaining, 1):
+            app.exfil.append(
+                ExfilRule(f"ads.app{index}.io", [Identifier.WIFI_MAC], party="third")
+            )
+            wifi_mac_quota -= 1
+        if (
+            device_mac_iot_quota > 0
+            and app.category is AppCategory.IOT
+            and rng.random() < device_mac_iot_quota / max(remaining, 1)
+        ):
+            app.exfil.append(
+                ExfilRule(f"cloud.{app.companion_vendors[0].lower()}.com",
+                          [Identifier.DEVICE_MAC], party="first")
+            )
+            device_mac_iot_quota -= 1
+        if downlink_quota > 0 and app.category is AppCategory.IOT and rng.random() < downlink_quota / max(remaining, 1):
+            app.receives_downlink_macs = True
+            downlink_quota -= 1
+        if mytracker_quota > 0 and app.category is AppCategory.REGULAR and rng.random() < mytracker_quota / max(remaining, 1):
+            app.sdks.append(sdk_by_name("MyTracker"))
+            mytracker_quota -= 1
+        if amplitude_quota > 0 and app.category is AppCategory.IOT and rng.random() < amplitude_quota / max(remaining, 1):
+            app.sdks.append(sdk_by_name("Amplitude"))
+            amplitude_quota -= 1
+        apps.append(app)
+    return apps

@@ -1,0 +1,78 @@
+"""The iOS local-network access model (§2.1).
+
+The paper's iOS 16.7 PoC confirms that local multicast needs BOTH the
+Apple-approved ``com.apple.developer.networking.multicast`` entitlement
+and the ``NSLocalNetworkUsageDescription``-gated runtime permission,
+which requires explicit user consent — unlike Android, where NsdManager
+discovery needs no dangerous permission at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Set
+
+
+class IosCapability(str, enum.Enum):
+    MULTICAST_ENTITLEMENT = "com.apple.developer.networking.multicast"
+    LOCAL_NETWORK_USAGE_DESCRIPTION = "NSLocalNetworkUsageDescription"
+
+
+class LocalNetworkDenied(Exception):
+    """Raised when an iOS app may not touch the local network."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+@dataclass
+class IosApp:
+    """The iOS-side visibility of an app: entitlements + consent state."""
+
+    bundle_id: str
+    entitlements: Set[IosCapability] = field(default_factory=set)
+    has_usage_description: bool = False
+    user_granted_local_network: bool = False
+
+
+@dataclass
+class IosPermissionModel:
+    """iOS 14+ local-network gatekeeping (per the §2.1 PoC)."""
+
+    version: int = 16
+
+    def check_multicast(self, app: IosApp) -> None:
+        """Raise unless the app may open multicast sockets."""
+        if IosCapability.MULTICAST_ENTITLEMENT not in app.entitlements:
+            raise LocalNetworkDenied(
+                "multicast entitlement missing (must be explicitly approved by Apple)"
+            )
+        self.check_local_network(app)
+
+    def check_local_network(self, app: IosApp) -> None:
+        """Raise unless the app may talk to local hosts (even unicast)."""
+        if not app.has_usage_description:
+            raise LocalNetworkDenied(
+                "NSLocalNetworkUsageDescription missing from the app manifest"
+            )
+        if not app.user_granted_local_network:
+            raise LocalNetworkDenied("user has not granted the Local Network permission")
+
+    def can_scan(self, app: IosApp) -> bool:
+        try:
+            self.check_multicast(app)
+        except LocalNetworkDenied:
+            return False
+        return True
+
+
+def contrast_with_android() -> List[str]:
+    """The §2.1 asymmetry, as data (used by docs and tests)."""
+    return [
+        "Android: mDNS/SSDP scanning needs only INTERNET + "
+        "CHANGE_WIFI_MULTICAST_STATE — neither is a dangerous permission",
+        "iOS: multicast needs an Apple-approved entitlement AND an "
+        "NSLocalNetworkUsageDescription AND explicit user consent",
+    ]

@@ -1,0 +1,167 @@
+"""Faithful models of the third-party SDKs the paper names (§6.1/§6.2)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.apps.appmodel import ExfilRule, Identifier, ScanProtocol, SdkModel
+
+
+def _innosdk() -> SdkModel:
+    """innosdk: NetBIOS scanner in "Lucky Time - Win Rewards Every Day".
+
+    Sends a UDP datagram to every IP in 192.168.0.0/24 regardless of
+    liveness, enumerates NetBIOS shares, harvests MACs via libarp.so,
+    and ships everything to gw.innotechworld.com.  The scan payload is
+    algorithmically generated, "perhaps to avoid being detected as
+    obvious malware" (§6.2).
+    """
+    return SdkModel(
+        name="innosdk",
+        vendor="Innotech",
+        purpose="monetization",
+        scan_protocols=[ScanProtocol.NETBIOS, ScanProtocol.ARP],
+        exfil=[
+            ExfilRule(
+                endpoint="gw.innotechworld.com",
+                identifiers=[Identifier.DEVICE_MAC, Identifier.HOSTNAMES],
+                party="third",
+                sdk="innosdk",
+            )
+        ],
+        algorithmic_payload=True,
+        scans_entire_prefix=True,
+    )
+
+
+def _appdynamics() -> SdkModel:
+    """AppDynamics (Cisco): APM SDK in the CNN app (§6.2).
+
+    Wraps network-library callbacks, so it sees the app's SSDP/UPnP
+    casting traffic; it tracks requests to events.claspws.tv/v1/event
+    whose URL parameters include base64-encoded Wi-Fi AP SSID, Android
+    device ID, IDFA, and the list of UPnP devices with screens
+    (CVE-2020-0454 side channel).
+    """
+    return SdkModel(
+        name="AppDynamics",
+        vendor="Cisco",
+        purpose="apm",
+        scan_protocols=[],  # it piggybacks on the host app's SSDP casting
+        exfil=[
+            ExfilRule(
+                endpoint="events.claspws.tv/v1/event",
+                identifiers=[
+                    Identifier.ROUTER_SSID,
+                    Identifier.ANDROID_ID,
+                    Identifier.AAID,
+                    Identifier.SCREEN_DEVICE_LIST,
+                ],
+                party="third",
+                sdk="AppDynamics",
+                encode_base64=True,
+            )
+        ],
+    )
+
+
+def _umlaut_insightcore() -> SdkModel:
+    """Umlaut insightCore: monetization SDK in Simple Speedcheck (§6.2).
+
+    Performs SSDP discovery targeting the UPnP IGD service and uploads
+    "system and network information such as the list of connected
+    devices in the local network and geolocation" per its privacy
+    policy.
+    """
+    return SdkModel(
+        name="umlaut-insightCore",
+        vendor="umlaut",
+        purpose="monetization",
+        scan_protocols=[ScanProtocol.SSDP],
+        exfil=[
+            ExfilRule(
+                endpoint="tacs.c0nnectthed0ts.com",
+                identifiers=[
+                    Identifier.SCREEN_DEVICE_LIST,
+                    Identifier.DEVICE_UUID,
+                    Identifier.GEOLOCATION,
+                ],
+                party="third",
+                sdk="umlaut-insightCore",
+            )
+        ],
+    )
+
+
+def _mytracker() -> SdkModel:
+    """MyTracker: Russian analytics/attribution SDK (§6.1).
+
+    Non-IoT apps embedding it scan for nearby Wi-Fi MAC addresses and
+    BSSIDs and transmit them without holding location permissions.
+    """
+    return SdkModel(
+        name="MyTracker",
+        vendor="VK",
+        purpose="analytics",
+        scan_protocols=[ScanProtocol.ARP],
+        exfil=[
+            ExfilRule(
+                endpoint="tracker.my.com",
+                identifiers=[Identifier.ROUTER_MAC, Identifier.DEVICE_MAC],
+                party="third",
+                sdk="MyTracker",
+            )
+        ],
+    )
+
+
+def _amplitude() -> SdkModel:
+    """Amplitude: analytics service receiving IoT device MACs (§6.1)."""
+    return SdkModel(
+        name="Amplitude",
+        vendor="Amplitude",
+        purpose="analytics",
+        exfil=[
+            ExfilRule(
+                endpoint="api.amplitude.com",
+                identifiers=[Identifier.DEVICE_MAC, Identifier.DEVICE_MODEL],
+                party="third",
+                sdk="Amplitude",
+            )
+        ],
+    )
+
+
+def _tuya_sdk() -> SdkModel:
+    """Tuya platform SDK: relays device MACs to Tuya cloud (§6.1)."""
+    return SdkModel(
+        name="TuyaSmartSDK",
+        vendor="Tuya",
+        purpose="platform",
+        scan_protocols=[ScanProtocol.TPLINK_SHP],
+        exfil=[
+            ExfilRule(
+                endpoint="a1.tuyaus.com",
+                identifiers=[Identifier.DEVICE_MAC, Identifier.DEVICE_UUID],
+                party="third",
+                sdk="TuyaSmartSDK",
+            )
+        ],
+    )
+
+
+SDK_REGISTRY: Dict[str, SdkModel] = {
+    sdk.name: sdk
+    for sdk in (
+        _innosdk(),
+        _appdynamics(),
+        _umlaut_insightcore(),
+        _mytracker(),
+        _amplitude(),
+        _tuya_sdk(),
+    )
+}
+
+
+def sdk_by_name(name: str) -> Optional[SdkModel]:
+    return SDK_REGISTRY.get(name)

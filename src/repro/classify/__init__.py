@@ -1,0 +1,25 @@
+"""Traffic classification: two independent engines + manual overlay.
+
+The paper compares tshark (spec/port-driven dissection) against nDPI
+(signature/behaviour-based detection) on 366K local packets (Appendix
+C.2), finds the documented disagreement modes, and settles on nDPI plus
+manually-defined rules (§3.5).  This package implements both engines,
+the manual-rule overlay, and the cross-validation that regenerates
+Figure 3.
+"""
+
+from repro.classify.labels import Label
+from repro.classify.tshark_like import TsharkLikeClassifier
+from repro.classify.ndpi_like import NdpiLikeClassifier
+from repro.classify.rules import ManualRules, CorrectedClassifier
+from repro.classify.crossval import CrossValidation, cross_validate
+
+__all__ = [
+    "Label",
+    "TsharkLikeClassifier",
+    "NdpiLikeClassifier",
+    "ManualRules",
+    "CorrectedClassifier",
+    "CrossValidation",
+    "cross_validate",
+]

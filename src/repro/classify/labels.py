@@ -1,0 +1,78 @@
+"""Canonical protocol labels (the normalized axes of Figures 2 and 3)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Label(str, enum.Enum):
+    """Normalized protocol labels across classifiers.
+
+    Values match the x-axis names of Figure 2 where the paper names
+    them, so reports read like the paper's.
+    """
+
+    ARP = "ARP"
+    DHCP = "DHCP"
+    DHCPV6 = "DHCPv6"
+    EAPOL = "EAPOL"
+    XID_LLC = "XID/LLC"
+    ICMP = "ICMP"
+    ICMPV6 = "ICMPv6"
+    IGMP = "IGMP"
+    MDNS = "mDNS"
+    DNS = "DNS"
+    SSDP = "SSDP"
+    HTTP = "HTTP"
+    HTTPS = "HTTPS"
+    TLS = "TLS"
+    TPLINK_SHP = "TPLINK_SHP"
+    TUYALP = "TuyaLP"
+    COAP = "COAP"
+    NETBIOS = "NETBIOS"
+    TELNET = "TELNET"
+    RTP = "RTP"
+    RTCP = "RTCP"
+    RTSP = "HTTP.RTSP"
+    STUN = "STUN"
+    NTP = "NTP"
+    PTP = "PTP"
+    MATTER = "MATTER"
+    SOCKS5 = "SOCKS5"
+    AJP = "AJP"
+    WEAVE = "WEAVE"
+    UNKNOWN = "UNKNOWN"
+    UNKNOWN_L3 = "UNKNOWN-L3"
+    # Deliberate misclassification labels the paper documents (App. C.2).
+    AMAZON_AWS = "AMAZONAWS"
+    CISCOVPN = "CISCOVPN"
+
+    def __str__(self) -> str:  # so f"{label}" prints the wire name
+        return self.value
+
+
+#: Labels that denote discovery protocols (used by §5.1 analyses).
+DISCOVERY_LABELS = {
+    Label.ARP,
+    Label.DHCP,
+    Label.DHCPV6,
+    Label.ICMPV6,
+    Label.MDNS,
+    Label.SSDP,
+    Label.TPLINK_SHP,
+    Label.TUYALP,
+    Label.COAP,
+    Label.NETBIOS,
+}
+
+#: Labels that are link/network management rather than application data.
+MANAGEMENT_LABELS = {
+    Label.ARP,
+    Label.DHCP,
+    Label.DHCPV6,
+    Label.EAPOL,
+    Label.XID_LLC,
+    Label.ICMP,
+    Label.ICMPV6,
+    Label.IGMP,
+}

@@ -1,0 +1,251 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro study        [--seed N] [--duration SECONDS] [--apps N]
+    repro classify     PCAP [--crossval]
+    repro scan         [--seed N]
+    repro fingerprint  [--seed N] [--mitigation NAME]
+    repro catalog
+    repro capture      OUTPUT_DIR [--seed N] [--duration SECONDS]
+
+``repro classify`` works on *any* classic-pcap file (including captures
+from a real network), making the classifier pair usable outside the
+simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import StudyPipeline
+    from repro.report.tables import (
+        render_comparison,
+        render_figure2,
+        render_figure3,
+        render_table1,
+        render_table4,
+    )
+
+    pipeline = StudyPipeline(
+        seed=args.seed,
+        passive_duration=args.duration,
+        app_sample_size=args.apps,
+        include_crowdsourced=args.crowdsourced,
+    )
+    report = pipeline.run()
+    summary = report.device_graph.summary()
+    print(render_comparison([
+        ("devices communicating locally (Fig. 1)", "43/93",
+         f"{summary['devices_communicating']}/{summary['devices_total']}"),
+        ("classifier disagreement (Fig. 3)", "16%",
+         f"{report.crossval.disagree_fraction:.0%}"),
+        ("devices with open ports (§4.2)", 61, report.scan_report.devices_with_open_ports),
+        ("local TLS devices (§5.2)", 32, report.threat.tls_device_count),
+        ("periodic discovery flows (App. D.1)", "88%",
+         f"{report.periodicity.periodic_fraction:.0%}"),
+    ], title="Headline results — paper vs this run"))
+    from repro.report.figures import render_figure2_bars, render_figure3_heatmap
+
+    print()
+    print(render_figure2_bars(report.census))
+    print()
+    print(render_figure2(report.census, top=20))
+    print()
+    print(render_table1(report.exposure))
+    print()
+    print(render_table4(report.responses))
+    print()
+    print(render_figure3(report.crossval))
+    print()
+    print(render_figure3_heatmap(report.crossval))
+    if report.fingerprint is not None:
+        from repro.report.tables import render_table2
+
+        print()
+        print(render_table2(report.fingerprint))
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.classify.crossval import cross_validate
+    from repro.classify.rules import CorrectedClassifier
+    from repro.net.decode import decode_frame
+    from repro.net.pcap import PcapReader
+    from repro.report.tables import render_figure3, render_table
+
+    try:
+        with PcapReader(args.pcap) as reader:
+            packets = [decode_frame(captured.data, captured.timestamp) for captured in reader]
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {args.pcap}: {error}", file=sys.stderr)
+        return 1
+    if not packets:
+        print("error: capture contains no packets", file=sys.stderr)
+        return 1
+    classifier = CorrectedClassifier()
+    counts = Counter(str(classifier.classify_packet(packet)) for packet in packets)
+    print(render_table(
+        ["protocol", "packets", "share"],
+        [(label, count, f"{count / len(packets):.1%}")
+         for label, count in counts.most_common()],
+        title=f"{args.pcap}: {len(packets)} packets (nDPI+manual labels)",
+    ))
+    if args.crossval:
+        print()
+        print(render_figure3(cross_validate(packets)))
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.devices.behaviors import build_testbed
+    from repro.report.tables import render_table
+    from repro.scan.portscan import PortScanner
+    from repro.scan.vulnscan import VulnerabilityScanner
+
+    testbed = build_testbed(seed=args.seed)
+    testbed.run(30.0)
+    scanner = PortScanner()
+    testbed.lan.attach(scanner)
+    testbed.lan.capture.keep_bytes = False
+    report = scanner.sweep(targets=testbed.devices)
+    rows = []
+    for host in report.hosts:
+        if not host.has_open_ports:
+            continue
+        ports = ", ".join(
+            f"{entry.port}/{entry.transport}:{entry.corrected_label}"
+            for entry in host.open_ports[:6]
+        )
+        rows.append((host.name, host.ip, ports))
+    print(render_table(["device", "ip", "open services (corrected labels)"], rows,
+                       title=f"{report.devices_with_open_ports} devices with open ports"))
+    findings = VulnerabilityScanner(include_low=not args.no_low).scan(testbed.devices)
+    print()
+    rows = [(finding.severity, finding.device, finding.title) for finding in findings[:args.max_findings]]
+    print(render_table(["severity", "device", "finding"], rows,
+                       title=f"{len(findings)} vulnerability findings"))
+    return 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from repro.core.mitigations import MITIGATIONS, evaluate_mitigations
+    from repro.inspector.generate import generate_dataset
+    from repro.report.tables import render_table2
+
+    if args.mitigation and args.mitigation not in MITIGATIONS:
+        print(f"error: unknown mitigation {args.mitigation!r}; "
+              f"choose from {', '.join(MITIGATIONS)}", file=sys.stderr)
+        return 1
+    dataset = generate_dataset(seed=args.seed)
+    names = [args.mitigation] if args.mitigation else ["baseline"]
+    outcome = evaluate_mitigations(dataset=dataset, names=names)[0]
+    print(render_table2(outcome.report))
+    print(f"\nmitigation: {outcome.name}; max combined entropy: "
+          f"{outcome.max_entropy():.1f} bits; uniquely identifiable households: "
+          f"{outcome.uniquely_identifiable_households()}")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.devices.catalog import build_catalog
+    from repro.report.tables import render_table, render_table3
+
+    catalog = build_catalog()
+    print(render_table3(catalog))
+    if args.verbose:
+        rows = [
+            (profile.name, profile.vendor, profile.model,
+             ", ".join(profile.exposed_identifier_types()))
+            for profile in catalog
+        ]
+        print()
+        print(render_table(["device", "vendor", "model", "exposes"], rows))
+    return 0
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.devices.behaviors import build_testbed
+
+    testbed = build_testbed(seed=args.seed)
+    testbed.run(args.duration)
+    output = Path(args.output_dir)
+    paths = testbed.lan.capture.write_per_mac_pcaps(output / "per-mac")
+    total = testbed.lan.capture.write_pcap(output / "lab.pcap")
+    print(f"wrote {total} packets to {output / 'lab.pcap'} "
+          f"and {len(paths)} per-MAC pcaps to {output / 'per-mac'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'In the Room Where It Happens' (IMC 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="run the full study pipeline")
+    study.add_argument("--seed", type=int, default=7)
+    study.add_argument("--duration", type=float, default=900.0,
+                       help="passive capture length in simulated seconds")
+    study.add_argument("--apps", type=int, default=60,
+                       help="app sample size (2335 = the full dataset)")
+    study.add_argument("--crowdsourced", action="store_true",
+                       help="also run the Table 2 crowdsourced analysis")
+    study.set_defaults(func=_cmd_study)
+
+    classify = sub.add_parser("classify", help="classify any classic-pcap capture")
+    classify.add_argument("pcap", help="path to a pcap file")
+    classify.add_argument("--crossval", action="store_true",
+                          help="also print the tshark-vs-nDPI comparison")
+    classify.set_defaults(func=_cmd_classify)
+
+    scan = sub.add_parser("scan", help="port- and vulnerability-scan the simulated lab")
+    scan.add_argument("--seed", type=int, default=7)
+    scan.add_argument("--no-low", action="store_true", help="hide low-severity findings")
+    scan.add_argument("--max-findings", type=int, default=40)
+    scan.set_defaults(func=_cmd_scan)
+
+    fingerprint = sub.add_parser("fingerprint", help="Table 2 entropy analysis")
+    fingerprint.add_argument("--seed", type=int, default=23)
+    fingerprint.add_argument("--mitigation", default=None,
+                             help="apply a §7 mitigation first (see repro.core.mitigations)")
+    fingerprint.set_defaults(func=_cmd_fingerprint)
+
+    catalog = sub.add_parser("catalog", help="print the Table 3 device inventory")
+    catalog.add_argument("--verbose", action="store_true",
+                         help="one row per device with its exposure classes")
+    catalog.set_defaults(func=_cmd_catalog)
+
+    capture = sub.add_parser("capture", help="run the lab and write pcaps to disk")
+    capture.add_argument("output_dir")
+    capture.add_argument("--seed", type=int, default=7)
+    capture.add_argument("--duration", type=float, default=600.0)
+    capture.set_defaults(func=_cmd_capture)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""The paper's analyses: each module regenerates one table or figure.
+
+============================  =========================================
+Module                        Paper artifact
+============================  =========================================
+``protocol_census``           Figure 2 (protocol prevalence, 3 methods)
+``device_graph``              Figures 1 and 4 (device-to-device graphs)
+``exposure``                  Tables 1 and 5 (identifier exposure)
+``responses``                 Table 4 (discovery-response correlation)
+``periodicity``               Appendix D.1 (DFT + autocorrelation)
+``threat_report``             Section 5 (threat analysis)
+``fingerprint``               Table 2 / Section 6.3 (entropy)
+``exfiltration``              Sections 6.1/6.2 (cloud dissemination)
+``mitigations``               Section 7 (countermeasures, evaluated)
+``pipeline``                  end-to-end study orchestration
+============================  =========================================
+"""
+
+from repro.core.protocol_census import ProtocolCensus, census_from_capture
+from repro.core.device_graph import DeviceGraph, build_device_graph
+from repro.core.exposure import ExposureMatrix, analyze_exposure, payload_examples
+from repro.core.responses import ResponseCorrelation, correlate_responses
+from repro.core.periodicity import PeriodicityResult, analyze_periodicity, detect_period
+from repro.core.threat_report import ThreatReport, build_threat_report
+from repro.core.fingerprint import FingerprintReport, fingerprint_households
+from repro.core.exfiltration import ExfiltrationAudit, audit_app_runs
+from repro.core.arp_analysis import ArpAnalysis, analyze_arp
+from repro.core.discovery_census import (
+    DhcpCensus,
+    MdnsServiceCensus,
+    dhcp_census,
+    mdns_service_census,
+)
+from repro.core.mitigations import MitigationOutcome, evaluate_mitigations
+from repro.core.patterns import CommunicationPatterns, analyze_patterns
+from repro.core.propagation import PropagationReport, trace_markers
+from repro.core.pipeline import StudyPipeline, StudyReport
+
+__all__ = [
+    "ProtocolCensus",
+    "census_from_capture",
+    "DeviceGraph",
+    "build_device_graph",
+    "ExposureMatrix",
+    "analyze_exposure",
+    "payload_examples",
+    "ResponseCorrelation",
+    "correlate_responses",
+    "PeriodicityResult",
+    "analyze_periodicity",
+    "detect_period",
+    "ThreatReport",
+    "build_threat_report",
+    "FingerprintReport",
+    "fingerprint_households",
+    "ExfiltrationAudit",
+    "audit_app_runs",
+    "ArpAnalysis",
+    "analyze_arp",
+    "DhcpCensus",
+    "dhcp_census",
+    "MdnsServiceCensus",
+    "mdns_service_census",
+    "CommunicationPatterns",
+    "analyze_patterns",
+    "PropagationReport",
+    "trace_markers",
+    "MitigationOutcome",
+    "evaluate_mitigations",
+    "StudyPipeline",
+    "StudyReport",
+]

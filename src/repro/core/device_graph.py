@@ -1,0 +1,111 @@
+"""Figures 1 and 4: the device-to-device communication graph.
+
+Nodes are devices, edges are unicast TCP/UDP conversations.  As in
+Figure 1, multicast/broadcast discovery protocols (and their unicast
+responses) are excluded, as are smartphone interactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.classify.labels import DISCOVERY_LABELS, Label
+from repro.classify.rules import CorrectedClassifier
+from repro.net.decode import DecodedPacket
+
+#: Ports whose unicast traffic is a discovery response, not a
+#: device-to-device conversation.
+_DISCOVERY_PORTS = {53, 67, 68, 137, 1900, 5353, 5683, 6666, 6667, 9999}
+
+
+@dataclass
+class DeviceGraph:
+    """The transport-layer communication graph."""
+
+    graph: nx.MultiGraph
+    device_vendor: Dict[str, str]
+
+    @property
+    def communicating_devices(self) -> List[str]:
+        return [node for node in self.graph.nodes if self.graph.degree(node) > 0]
+
+    def edge_transports(self, a: str, b: str) -> Set[str]:
+        if not self.graph.has_edge(a, b):
+            return set()
+        return {data.get("transport") for data in self.graph[a][b].values()}
+
+    def vendor_cluster(self, vendor: str, transport: Optional[str] = None) -> nx.MultiGraph:
+        """The Figure 4 view: the subgraph among one vendor's devices."""
+        members = [
+            node for node, owner in self.device_vendor.items() if owner == vendor
+        ]
+        subgraph = nx.MultiGraph()
+        subgraph.add_nodes_from(members)
+        for a, b, data in self.graph.edges(data=True):
+            if a in subgraph and b in subgraph:
+                if transport is None or data.get("transport") == transport:
+                    subgraph.add_edge(a, b, **data)
+        return subgraph
+
+    def coordinator_of(self, vendor: str, transport: Optional[str] = None) -> Optional[str]:
+        """Highest-degree device in a vendor cluster (Fig. 4e's Echo)."""
+        cluster = self.vendor_cluster(vendor, transport)
+        if cluster.number_of_edges() == 0:
+            return None
+        return max(cluster.nodes, key=lambda node: cluster.degree(node))
+
+    def summary(self) -> Dict[str, object]:
+        pair_transports: Dict[Tuple[str, str], Set[str]] = {}
+        for a, b, data in self.graph.edges(data=True):
+            pair = tuple(sorted((a, b)))
+            pair_transports.setdefault(pair, set()).add(data.get("transport"))
+        both = sum(1 for transports in pair_transports.values() if len(transports) > 1)
+        return {
+            "devices_total": self.graph.number_of_nodes(),
+            "devices_communicating": len(self.communicating_devices),
+            "device_pairs": len(pair_transports),
+            "pairs_tcp_and_udp": both,
+        }
+
+
+def build_device_graph(
+    packets: Iterable[DecodedPacket],
+    device_macs: Dict[str, str],
+    device_vendor: Dict[str, str],
+    classifier: Optional[CorrectedClassifier] = None,
+) -> DeviceGraph:
+    """Build the Fig. 1 graph from a capture.
+
+    ``device_macs``: MAC -> device name for IoT devices only (so phone
+    and gateway traffic is excluded, as the figure caption requires).
+    """
+    classifier = classifier or CorrectedClassifier()
+    graph = nx.MultiGraph()
+    graph.add_nodes_from(device_macs.values())
+    seen: Set[Tuple[str, str, str]] = set()
+    for packet in packets:
+        if packet.transport is None or not packet.is_unicast:
+            continue
+        src = device_macs.get(str(packet.frame.src))
+        dst = device_macs.get(str(packet.frame.dst))
+        if src is None or dst is None or src == dst:
+            continue
+        # Discovery responses ride unicast UDP from well-known ports;
+        # TCP on the same port numbers (e.g. TPLINK-SHP control on
+        # 9999) is a genuine device-to-device conversation and stays.
+        if packet.udp is not None and (
+            packet.src_port in _DISCOVERY_PORTS or packet.dst_port in _DISCOVERY_PORTS
+        ):
+            label = classifier.classify_packet(packet)
+            if label in DISCOVERY_LABELS or label is Label.DNS:
+                continue
+        pair = tuple(sorted((src, dst)))
+        key = (pair[0], pair[1], packet.transport)
+        if key in seen:
+            continue
+        seen.add(key)
+        graph.add_edge(pair[0], pair[1], transport=packet.transport)
+    return DeviceGraph(graph=graph, device_vendor=device_vendor)

@@ -1,0 +1,84 @@
+"""Section 6.3 / Table 2: household fingerprintability.
+
+A thin orchestration layer over :mod:`repro.inspector`: generate (or
+accept) a crowdsourced dataset, run the identifier extraction + entropy
+analysis, and render the Table 2 rows, including the OUI-validation
+ablation (§6.3 filters MAC candidates against each device's OUI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.inspector.entropy import EntropyAnalysis, analyze_dataset
+from repro.inspector.generate import generate_dataset
+from repro.inspector.schema import InspectorDataset
+
+
+@dataclass
+class FingerprintRow:
+    """One rendered Table 2 row."""
+
+    type_count: int
+    identifiers: str
+    products: int
+    vendors: int
+    devices: int
+    households: int
+    unique_pct: float
+    entropy: float
+
+
+@dataclass
+class FingerprintReport:
+    """Table 2 plus context statistics."""
+
+    dataset_devices: int
+    dataset_households: int
+    dataset_vendors: int
+    dataset_products: int
+    rows: List[FingerprintRow] = field(default_factory=list)
+    median_devices_per_household: float = 0.0
+
+    def row_for(self, identifiers: str) -> Optional[FingerprintRow]:
+        for row in self.rows:
+            if row.identifiers == identifiers:
+                return row
+        return None
+
+
+def fingerprint_households(
+    dataset: Optional[InspectorDataset] = None,
+    seed: int = 23,
+    validate_oui: bool = True,
+) -> FingerprintReport:
+    """Run the full §6.3 pipeline; generates the dataset when not given."""
+    import statistics
+
+    if dataset is None:
+        dataset = generate_dataset(seed=seed)
+    analysis = analyze_dataset(dataset, validate_oui=validate_oui)
+    report = FingerprintReport(
+        dataset_devices=dataset.device_count,
+        dataset_households=dataset.household_count,
+        dataset_vendors=len(dataset.vendors()),
+        dataset_products=len(dataset.products()),
+        median_devices_per_household=float(
+            statistics.median(h.device_count for h in dataset.households)
+        ),
+    )
+    for type_count, label, row, entropy in analysis.table_rows():
+        report.rows.append(
+            FingerprintRow(
+                type_count=type_count,
+                identifiers=label,
+                products=len(row.products),
+                vendors=len(row.vendors),
+                devices=row.devices,
+                households=row.household_count,
+                unique_pct=100.0 * row.unique_household_fraction(),
+                entropy=entropy,
+            )
+        )
+    return report

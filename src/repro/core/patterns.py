@@ -1,0 +1,179 @@
+"""Local communication patterns — the paper's §4.4 future work.
+
+"We leave further analysis of local communication patterns as future
+work."  This module supplies that analysis over the same captures:
+per-pair traffic volumes and protocol mixes, top talkers, temporal
+activity profiles, and — for the crowdsourced corpus — the §6.3
+observation that a median household has ~3 devices that "often
+communicate with each other over TCP and UDP connections".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.classify.rules import CorrectedClassifier
+from repro.net.decode import DecodedPacket
+from repro.inspector.schema import InspectorDataset
+
+
+@dataclass
+class PairTraffic:
+    """Aggregate traffic between one unordered device pair."""
+
+    pair: Tuple[str, str]
+    packets: int = 0
+    bytes: int = 0
+    protocols: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    @property
+    def dominant_protocol(self) -> Optional[str]:
+        if not self.protocols:
+            return None
+        return max(self.protocols, key=self.protocols.get)
+
+
+@dataclass
+class CommunicationPatterns:
+    """The full pattern analysis over one capture."""
+
+    pairs: Dict[Tuple[str, str], PairTraffic] = field(default_factory=dict)
+    device_tx_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    device_broadcast_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: device -> per-bin packet counts (temporal activity profile)
+    activity: Dict[str, List[int]] = field(default_factory=dict)
+    bin_width: float = 60.0
+
+    def top_talkers(self, count: int = 10) -> List[Tuple[str, int]]:
+        """Devices by total transmitted bytes (unicast + broadcast)."""
+        totals: Dict[str, int] = defaultdict(int)
+        for device, tx in self.device_tx_bytes.items():
+            totals[device] += tx
+        for device, tx in self.device_broadcast_bytes.items():
+            totals[device] += tx
+        return sorted(totals.items(), key=lambda item: -item[1])[:count]
+
+    def top_pairs(self, count: int = 10) -> List[PairTraffic]:
+        return sorted(self.pairs.values(), key=lambda pair: -pair.bytes)[:count]
+
+    def broadcast_share(self, device: str) -> float:
+        """Fraction of a device's transmitted bytes that were one-to-many."""
+        unicast = self.device_tx_bytes.get(device, 0)
+        broadcast = self.device_broadcast_bytes.get(device, 0)
+        total = unicast + broadcast
+        return broadcast / total if total else 0.0
+
+    def burstiness(self, device: str) -> float:
+        """Coefficient of variation of per-bin activity (0 = uniform)."""
+        bins = self.activity.get(device)
+        if not bins or len(bins) < 2:
+            return 0.0
+        mean = sum(bins) / len(bins)
+        if mean == 0:
+            return 0.0
+        variance = sum((value - mean) ** 2 for value in bins) / len(bins)
+        return (variance ** 0.5) / mean
+
+
+def analyze_patterns(
+    packets: Iterable[DecodedPacket],
+    device_macs: Dict[str, str],
+    classifier: Optional[CorrectedClassifier] = None,
+    bin_width: float = 60.0,
+) -> CommunicationPatterns:
+    """Compute pair volumes, talker rankings, and activity profiles."""
+    classifier = classifier or CorrectedClassifier()
+    patterns = CommunicationPatterns(bin_width=bin_width)
+    packets = list(packets)
+    if not packets:
+        return patterns
+    start = min(packet.timestamp for packet in packets)
+    end = max(packet.timestamp for packet in packets)
+    bins = max(1, int((end - start) / bin_width) + 1)
+    activity: Dict[str, List[int]] = {
+        name: [0] * bins for name in device_macs.values()
+    }
+
+    for packet in packets:
+        src = device_macs.get(str(packet.frame.src))
+        if src is None:
+            continue
+        size = len(packet.frame)
+        index = min(int((packet.timestamp - start) / bin_width), bins - 1)
+        activity[src][index] += 1
+        if packet.is_unicast:
+            dst = device_macs.get(str(packet.frame.dst))
+            if dst is not None and dst != src:
+                patterns.device_tx_bytes[src] += size
+                key = tuple(sorted((src, dst)))
+                pair = patterns.pairs.get(key)
+                if pair is None:
+                    pair = patterns.pairs[key] = PairTraffic(pair=key)
+                pair.packets += 1
+                pair.bytes += size
+                label = classifier.classify_packet(packet)
+                if label is not None:
+                    pair.protocols[str(label)] += 1
+            else:
+                patterns.device_tx_bytes[src] += size
+        else:
+            patterns.device_broadcast_bytes[src] += size
+    patterns.activity = activity
+    return patterns
+
+
+# -- crowdsourced-corpus patterns (§6.3 closing observation) -------------------------
+
+
+@dataclass
+class HouseholdCommunication:
+    """Per-household local-communication summary from flow records."""
+
+    user_id: str
+    device_count: int
+    communicating_ips: int
+    tcp_flows: int
+    udp_flows: int
+    local_bytes: int
+
+
+def household_communication(dataset: InspectorDataset) -> List[HouseholdCommunication]:
+    """Summarize intra-household flows (the 'median of 3 devices that
+    often communicate with each other over TCP and UDP' check)."""
+    summaries = []
+    for household in dataset.households:
+        ips = set()
+        tcp = udp = local_bytes = 0
+        for flow in household.flows:
+            ips.add(flow.src_ip)
+            ips.add(flow.dst_ip)
+            if flow.transport == "tcp":
+                tcp += 1
+            else:
+                udp += 1
+            local_bytes += flow.bytes_sent + flow.bytes_received
+        summaries.append(
+            HouseholdCommunication(
+                user_id=household.user_id,
+                device_count=household.device_count,
+                communicating_ips=len(ips),
+                tcp_flows=tcp,
+                udp_flows=udp,
+                local_bytes=local_bytes,
+            )
+        )
+    return summaries
+
+
+def median_communicating_devices(dataset: InspectorDataset) -> float:
+    """Median count of devices per household seen in local flows."""
+    import statistics
+
+    counts = [
+        summary.communicating_ips
+        for summary in household_communication(dataset)
+        if summary.communicating_ips
+    ]
+    return float(statistics.median(counts)) if counts else 0.0

@@ -1,0 +1,170 @@
+"""The end-to-end study pipeline: §3's methodology as one object.
+
+``StudyPipeline`` builds the simulated MonIoTr lab, collects the
+passive dataset, deploys honeypots, runs the active scans, exercises a
+sample of the app dataset on the instrumented phone, and produces a
+:class:`StudyReport` holding every per-artifact analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.dataset import generate_app_dataset
+from repro.apps.runtime import AppRunResult, InstrumentedPhone
+from repro.classify.crossval import CrossValidation, cross_validate
+from repro.core.device_graph import DeviceGraph, build_device_graph
+from repro.core.exfiltration import ExfiltrationAudit, audit_app_runs
+from repro.core.exposure import ExposureMatrix, analyze_exposure
+from repro.core.fingerprint import FingerprintReport, fingerprint_households
+from repro.core.periodicity import PeriodicityResult, analyze_periodicity
+from repro.core.protocol_census import (
+    ProtocolCensus,
+    add_app_results,
+    add_scan_results,
+    census_from_capture,
+)
+from repro.core.responses import (
+    ResponseCorrelation,
+    category_of_profile,
+    correlate_responses,
+)
+from repro.core.threat_report import ThreatReport, build_threat_report
+from repro.devices.behaviors import Testbed, build_testbed
+from repro.honeypot.farm import HoneypotFarm
+from repro.scan.portscan import PortScanner, ScanReport
+from repro.scan.vulnscan import VulnerabilityScanner
+
+
+@dataclass
+class StudyReport:
+    """Every analysis artifact the pipeline produces."""
+
+    census: ProtocolCensus
+    device_graph: DeviceGraph
+    exposure: ExposureMatrix
+    responses: ResponseCorrelation
+    periodicity: PeriodicityResult
+    crossval: CrossValidation
+    threat: ThreatReport
+    scan_report: ScanReport
+    exfiltration: ExfiltrationAudit
+    fingerprint: Optional[FingerprintReport] = None
+    honeypot_contacts: int = 0
+    capture_packets: int = 0
+
+
+class StudyPipeline:
+    """Orchestrates the full reproduction study."""
+
+    def __init__(
+        self,
+        seed: int = 7,
+        passive_duration: float = 1800.0,
+        app_sample_size: int = 40,
+        deploy_honeypots: bool = True,
+        include_crowdsourced: bool = False,
+    ):
+        self.seed = seed
+        self.passive_duration = passive_duration
+        self.app_sample_size = app_sample_size
+        self.deploy_honeypots = deploy_honeypots
+        self.include_crowdsourced = include_crowdsourced
+        self.testbed: Optional[Testbed] = None
+        self.farm: Optional[HoneypotFarm] = None
+
+    # -- stages ---------------------------------------------------------------------
+
+    def build(self) -> Testbed:
+        self.testbed = build_testbed(seed=self.seed)
+        if self.deploy_honeypots:
+            self.farm = HoneypotFarm.deploy(self.testbed.lan)
+        return self.testbed
+
+    def collect_passive(self) -> int:
+        """Run the lab for the configured duration; returns packet count."""
+        assert self.testbed is not None, "call build() first"
+        self.testbed.run(self.passive_duration)
+        return self.testbed.lan.capture.packet_count
+
+    def device_maps(self) -> Dict[str, Dict[str, str]]:
+        assert self.testbed is not None
+        macs = {str(node.mac): node.name for node in self.testbed.devices}
+        vendors = {node.name: node.vendor for node in self.testbed.devices}
+        categories = {
+            node.name: category_of_profile(node.profile) for node in self.testbed.devices
+        }
+        return {"macs": macs, "vendors": vendors, "categories": categories}
+
+    def run_scans(self) -> ScanReport:
+        assert self.testbed is not None
+        scanner = PortScanner()
+        self.testbed.lan.attach(scanner)
+        # Active scans are a separate dataset; keep them out of the
+        # passive capture, like running them when the lab is closed.
+        keep = self.testbed.lan.capture.keep_bytes
+        self.testbed.lan.capture.keep_bytes = False
+        try:
+            report = scanner.sweep(targets=self.testbed.devices)
+        finally:
+            self.testbed.lan.capture.keep_bytes = keep
+            self.testbed.lan.detach(scanner)
+        return report
+
+    def run_apps(self) -> List[AppRunResult]:
+        assert self.testbed is not None
+        apps = generate_app_dataset(seed=self.seed + 1)
+        rng = random.Random(self.seed + 2)
+        named = apps[:10]  # the case-study apps always run
+        if self.app_sample_size >= len(apps):
+            sample = apps
+        else:
+            sample = named + rng.sample(apps[10:], max(0, self.app_sample_size - len(named)))
+        phone = InstrumentedPhone(rng=random.Random(self.seed + 3))
+        self.testbed.lan.attach(phone)
+        keep = self.testbed.lan.capture.keep_bytes
+        self.testbed.lan.capture.keep_bytes = False
+        try:
+            results = [phone.run_app(app) for app in sample]
+        finally:
+            self.testbed.lan.capture.keep_bytes = keep
+            self.testbed.lan.detach(phone)
+        return results
+
+    # -- the full study ----------------------------------------------------------------
+
+    def run(self) -> StudyReport:
+        self.build()
+        self.collect_passive()
+        maps = self.device_maps()
+        packets = self.testbed.lan.capture.decoded()
+
+        census = census_from_capture(packets, maps["macs"], total_devices=len(self.testbed.devices))
+        scan_report = self.run_scans()
+        add_scan_results(census, scan_report)
+
+        app_runs = self.run_apps()
+        # Rates are computed over the apps actually run; pass
+        # app_sample_size=2335 to exercise the full dataset.
+        apps_total = len(app_runs)
+        add_app_results(census, app_runs, total_apps=apps_total)
+
+        findings = VulnerabilityScanner().scan(self.testbed.devices)
+        report = StudyReport(
+            census=census,
+            device_graph=build_device_graph(packets, maps["macs"], maps["vendors"]),
+            exposure=analyze_exposure(packets, maps["macs"]),
+            responses=correlate_responses(packets, maps["macs"], maps["categories"]),
+            periodicity=analyze_periodicity(packets, maps["macs"]),
+            crossval=cross_validate(packets),
+            threat=build_threat_report(packets, maps["macs"], findings),
+            scan_report=scan_report,
+            exfiltration=audit_app_runs(app_runs, total_apps=apps_total),
+            honeypot_contacts=self.farm.contact_count() if self.farm else 0,
+            capture_packets=len(packets),
+        )
+        if self.include_crowdsourced:
+            report.fingerprint = fingerprint_households(seed=self.seed + 16)
+        return report

@@ -1,0 +1,37 @@
+"""Device models: the MonIoTr testbed catalog and behaviour profiles.
+
+`catalog` reproduces Table 3 (93 devices, 78 unique models, 7
+categories); `profiles` defines what each device *does* on the LAN —
+which discovery protocols it speaks, at what intervals, what
+identifiers it exposes, which services it keeps open, and which known
+vulnerabilities it carries; `behaviors` turns a profile into a live
+simulated node.
+"""
+
+from repro.devices.profiles import (
+    DeviceProfile,
+    MdnsConfig,
+    SsdpConfig,
+    ArpScanConfig,
+    DhcpConfig,
+    TlsConfig,
+    HostnameScheme,
+    Vulnerability,
+)
+from repro.devices.catalog import build_catalog, TESTBED_CATEGORY_COUNTS
+from repro.devices.behaviors import DeviceNode, build_testbed
+
+__all__ = [
+    "DeviceProfile",
+    "MdnsConfig",
+    "SsdpConfig",
+    "ArpScanConfig",
+    "DhcpConfig",
+    "TlsConfig",
+    "HostnameScheme",
+    "Vulnerability",
+    "build_catalog",
+    "TESTBED_CATEGORY_COUNTS",
+    "DeviceNode",
+    "build_testbed",
+]

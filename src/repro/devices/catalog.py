@@ -1,0 +1,1314 @@
+"""The MonIoTr testbed catalog: 93 devices, 78 unique models (Table 3).
+
+Each entry is a :class:`DeviceProfile` whose behaviour encodes the
+paper's per-vendor findings:
+
+* Amazon Echo — daily broadcast ARP sweeps + unicast probes, SSDP
+  ``ssdp:all``/``upnp:rootdevice`` every 2-3 h, mDNS every 20-100 s,
+  TLS 1.2 with 3-month self-signed IP-CN certificates and mutual auth,
+  RTP multi-room on UDP 55444, periodic broadcast to UDP 56700 (Lifx),
+  open TCP 55442/55443/4070, Matter over IPv6.
+* Google — SSDP M-SEARCH every 20 s for specific targets, mDNS,
+  TLS 1.2 on 8009 with short keys (SWEET32 exposure), internal PKI with
+  20-year leaf certs, UDP 10000-10010 RTP mislabeled as STUN,
+  Chromecast User-Agent strings.
+* Apple — TLS 1.3 with encrypted certificates, mDNS/Bonjour (AirPlay,
+  HomeKit, sleep-proxy), HomePod Mini's SheerDNS 1.0.0 cache-snooping DNS.
+* TP-Link — TPLINK-SHP servers answering sysinfo (incl. plaintext
+  lat/lon) without authentication.
+* Tuya — TuyaLP broadcasts with gwId/productKey; only answer companion apps.
+* Cameras — Lefun backup-file HTTP server, Microseven jQuery 1.2 +
+  unauthenticated ONVIF snapshots + telnet, etc.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.profiles import (
+    ArpScanConfig,
+    DeviceProfile,
+    DhcpConfig,
+    HostnameScheme,
+    MdnsConfig,
+    SsdpConfig,
+    TlsConfig,
+    Vulnerability,
+)
+from repro.simnet.services import ServiceInfo
+
+#: Table 3 row/column totals, used to validate the catalog.
+TESTBED_CATEGORY_COUNTS: Dict[str, int] = {
+    "Game Console": 1,
+    "Generic IoT": 7,
+    "Home Appliance": 10,
+    "Home Automation": 21,
+    "Media/TV": 7,
+    "Surveillance": 19,
+    "Voice Assistant": 28,
+}
+
+GOOGLE_SSDP_TARGETS = [
+    "urn:dial-multiscreen-org:service:dial:1",
+    "urn:schemas-upnp-org:device:MediaRenderer:1",
+]
+AMAZON_SSDP_TARGETS = ["ssdp:all", "upnp:rootdevice"]
+
+
+def _tcp(port: int, protocol: str, banner: str = "", software: str = "", version: str = "") -> ServiceInfo:
+    return ServiceInfo(port, "tcp", protocol, banner, software, version)
+
+
+def _udp(port: int, protocol: str, banner: str = "", software: str = "", version: str = "") -> ServiceInfo:
+    return ServiceInfo(port, "udp", protocol, banner, software, version)
+
+
+def _amazon_echo(index: int, model: str) -> DeviceProfile:
+    name = f"amazon-{model.lower().replace(' ', '-').replace('(', '').replace(')', '')}-{index}"
+    return DeviceProfile(
+        name=name,
+        vendor="Amazon",
+        model=model,
+        category="Voice Assistant",
+        display_name=f"{model}",
+        platforms=["alexa"],
+        supports_ipv6=True,
+        mdns=MdnsConfig(
+            advertise=[("_amzn-alexa._tcp.local", "mac_suffix", 443, {"dn": model})],
+            query_services=["_amzn-wplay._tcp.local", "_googlecast._tcp.local", "_spotify-connect._tcp.local"],
+            query_interval=45.0,
+            respond_multicast=True,
+        ),
+        ssdp=SsdpConfig(
+            msearch_targets=AMAZON_SSDP_TARGETS,
+            msearch_interval=9000.0,  # every 2-3 hours (§5.1)
+            server_header="Linux/4.9 UPnP/1.0 Amazon-Echo/1.0",
+        ),
+        arp_scan=ArpScanConfig(
+            broadcast_sweep_interval=86400.0,  # daily full-IP-space sweep
+            unicast_probe_fraction=0.83,
+        ),
+        dhcp=DhcpConfig(
+            hostname_scheme=HostnameScheme.MODEL,
+            vendor_class="udhcp 1.21.1",  # old/custom client (§5.1)
+            parameter_request=[1, 3, 6, 12, 15, 28, 42],
+        ),
+        tls=TlsConfig(
+            version="1.2",
+            cert_validity_days=90.0,
+            self_signed=True,
+            cn_scheme="local_ip",
+            mutual_auth=True,
+            port=4070,
+        ),
+        tplink_role="client",
+        rtp_port=55444,
+        unknown_broadcast_port=56700,
+        unknown_broadcast_interval=7200.0,
+        open_services=[
+            _tcp(55442, "http", "HTTP/1.1 200 OK", "echo-audio-cache", "1.0"),
+            _tcp(55443, "http", "HTTP/1.1 200 OK", "echo-audio-cache", "1.0"),
+            _tcp(4070, "https", "", "echo-device-control", "1.0"),
+            _tcp(1080, "socks5", "", "dante", "1.4"),
+            _tcp(8888, "http-proxy", "", "echo-proxy", "1.0"),
+        ],
+        responds_to_udp_scan=False,
+        matter=True,
+    )
+
+
+def _apple_speaker(index: int, model: str) -> DeviceProfile:
+    vulnerable_dns = model == "HomePod Mini"
+    services = [_tcp(7000, "airplay", "", "AirTunes", "595.13")]
+    vulnerabilities = []
+    if vulnerable_dns:
+        services.append(_udp(53, "dns", "", "SheerDNS", "1.0.0"))
+        vulnerabilities = [
+            Vulnerability("NESSUS-11535", "SheerDNS < 1.0.1 Multiple Vulnerabilities", "high", 53, "udp"),
+            Vulnerability("NESSUS-12217", "DNS Server Cache Snooping Remote Information Disclosure", "medium", 53, "udp"),
+        ]
+    return DeviceProfile(
+        name=f"apple-{model.lower().replace(' ', '-')}-{index}",
+        vendor="Apple",
+        model=model,
+        category="Voice Assistant",
+        display_name=f"Jane Doe's Kitchen {model}",
+        platforms=["homekit"],
+        supports_ipv6=True,
+        mdns=MdnsConfig(
+            advertise=[
+                ("_hap._tcp.local", "display_name", 7000, {"md": model}),
+                ("_airplay._tcp.local", "display_name", 7000, {"model": model}),
+                ("_sleep-proxy._udp.local", "mac_suffix", 53, {}),
+            ],
+            query_services=["_companion-link._tcp.local", "_airplay._tcp.local"],
+            query_interval=60.0,
+            respond_multicast=True,
+            respond_unicast=True,
+        ),
+        dhcp=DhcpConfig(
+            hostname_scheme=HostnameScheme.USER_DISPLAY_NAME,
+            vendor_class="",  # Apple sends no vendor class
+            parameter_request=[1, 3, 6, 15, 119, 121],
+        ),
+        tls=TlsConfig(version="1.3", cert_validity_days=365.0, self_signed=True, port=7000),
+        coap_role="opaque" if model == "HomePod Mini" else None,
+        open_services=services,
+        vulnerabilities=vulnerabilities,
+        responds_to_udp_scan=vulnerable_dns,
+    )
+
+
+def _google_speaker(index: int, model: str, is_hub: bool = False) -> DeviceProfile:
+    services = [
+        _tcp(8008, "http", "HTTP/1.1 200 OK", "Chromecast", "1.56"),
+        _tcp(8009, "tls", "", "cast-tls", "1.56"),
+        _tcp(10001, "unknown", "", "", ""),
+        _udp(320, "ptp", "", "", ""),
+    ]
+    vulnerabilities = [
+        Vulnerability(
+            "CVE-2016-2183",
+            "TLS service on port 8009 uses short encryption keys (64-122 bits); "
+            "SWEET32 birthday attack on long sessions",
+            "high",
+            8009,
+            "tcp",
+        )
+    ]
+    return DeviceProfile(
+        name=f"google-{model.lower().replace(' ', '-')}-{index}",
+        vendor="Google",
+        model=model,
+        category="Voice Assistant",
+        display_name=f"Jane Doe's Living Room {model}",
+        platforms=["google-home"],
+        supports_ipv6=True,
+        mdns=MdnsConfig(
+            advertise=[("_googlecast._tcp.local", "full_mac", 8009, {"md": model, "fn": "Living Room"})],
+            query_services=["_googlecast._tcp.local", "_spotify-connect._tcp.local", "_androidtvremote2._tcp.local"],
+            query_interval=25.0,
+            respond_multicast=True,
+        ),
+        ssdp=SsdpConfig(
+            msearch_targets=GOOGLE_SSDP_TARGETS,
+            msearch_interval=20.0,  # §5.1: every 20 s
+            respond=is_hub,  # the two Nest Hubs respond (Chromecast built in)
+            server_header="Linux/3.8.13, UPnP/1.0, Portable SDK for UPnP devices/1.6.18",
+            upnp_version="UPnP/1.0",
+        ),
+        dhcp=DhcpConfig(
+            hostname_scheme=HostnameScheme.USER_DISPLAY_NAME,
+            vendor_class="dhcpcd-6.8.2:Linux-4.9:armv7l",  # custom client (§5.1)
+            parameter_request=[1, 3, 6, 12, 15, 26, 28, 42, 121],
+        ),
+        tls=TlsConfig(
+            version="1.2",
+            cert_validity_days=20 * 365.25,  # 20-year leaf certs
+            self_signed=False,  # internal PKI, roots not in any trust store
+            key_bits=96,  # the short-key finding on port 8009
+            port=8009,
+        ),
+        tplink_role="client",
+        stun_like_udp_ports=list(range(10000, 10011)),
+        http_user_agent=f"Chromecast OS/1.56 {model}",
+        open_services=services,
+        vulnerabilities=vulnerabilities,
+        responds_to_udp_scan=True,
+    )
+
+
+def _meta_portal(index: int) -> DeviceProfile:
+    return DeviceProfile(
+        name=f"meta-portal-mini-{index}",
+        vendor="Meta",
+        model="Portal Mini",
+        category="Voice Assistant",
+        supports_ipv6=True,
+        mdns=MdnsConfig(
+            advertise=[("_airplay._tcp.local", "plain", 7000, {})],
+            query_services=["_googlecast._tcp.local"],
+            query_interval=90.0,
+        ),
+        dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="dhcpcd-7.2.3"),
+        open_services=[_tcp(7000, "airplay", "", "portal-airplay", "1.0")],
+    )
+
+
+def _media_devices() -> List[DeviceProfile]:
+    devices: List[DeviceProfile] = []
+    devices.append(
+        DeviceProfile(
+            name="amazon-fire-tv-1",
+            vendor="Amazon",
+            model="Fire TV",
+            category="Media/TV",
+            platforms=["alexa"],
+            supports_ipv6=True,
+            mdns=MdnsConfig(
+                advertise=[("_amzn-wplay._tcp.local", "mac_suffix", 8009, {"n": "Fire TV"})],
+                query_services=["_googlecast._tcp.local"],
+                query_interval=60.0,
+            ),
+            ssdp=SsdpConfig(
+                msearch_targets=AMAZON_SSDP_TARGETS,
+                msearch_interval=9000.0,
+                notify=True,
+                notify_interval=1800.0,
+                respond=True,
+                server_header="Linux/4.9 UPnP/1.0 Cling/2.0",
+                upnp_version="UPnP/1.0",
+                bad_location_prefix=True,  # announces a /16 location (§5.1)
+            ),
+            dhcp=DhcpConfig(
+                hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.21.1",
+                parameter_request=[1, 3, 6, 12, 15, 28],
+            ),
+            tls=TlsConfig(version="1.2", cert_validity_days=90.0, self_signed=True, cn_scheme="local_ip", port=4070),
+            open_services=[
+                _tcp(55442, "http", "HTTP/1.1 200 OK", "echo-audio-cache", "1.0"),
+                _tcp(4070, "https", "", "echo-device-control", "1.0"),
+                _tcp(8009, "tls", "", "cast-tls", "1.36"),
+                _tcp(40317, "unknown", "", "", ""),
+            ],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="apple-tv-1",
+            vendor="Apple",
+            model="Apple TV 4K",
+            category="Media/TV",
+            uses_eapol=False,  # wired
+            platforms=["homekit"],
+            supports_ipv6=True,
+            mdns=MdnsConfig(
+                advertise=[
+                    ("_airplay._tcp.local", "display_name", 7000, {"model": "AppleTV11,1"}),
+                    ("_companion-link._tcp.local", "display_name", 49152, {}),
+                ],
+                query_services=["_homekit._tcp.local", "_hap._tcp.local"],
+                query_interval=60.0,
+                respond_unicast=True,
+            ),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.USER_DISPLAY_NAME, parameter_request=[1, 3, 6, 15, 119]),
+            tls=TlsConfig(version="1.3", cert_validity_days=365.0, self_signed=True, port=7000),
+            open_services=[
+                _tcp(7000, "airplay", "", "AirTunes", "595.13"),
+                _tcp(49152, "companion-link", "", "", ""),
+                _udp(319, "ptp", "", "", ""),
+                _udp(320, "ptp", "", "", ""),
+            ],
+            responds_to_udp_scan=True,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="google-chromecast-1",
+            vendor="Google",
+            model="Chromecast with Google TV",
+            category="Media/TV",
+            platforms=["google-home"],
+            supports_ipv6=True,
+            mdns=MdnsConfig(
+                advertise=[("_googlecast._tcp.local", "full_mac", 8009, {"md": "Chromecast"})],
+                query_services=["_googlecast._tcp.local"],
+                query_interval=25.0,
+            ),
+            ssdp=SsdpConfig(
+                msearch_targets=GOOGLE_SSDP_TARGETS,
+                msearch_interval=20.0,
+                respond=True,
+                server_header="Linux/3.8.13, UPnP/1.0, Portable SDK for UPnP devices/1.6.18",
+                upnp_version="UPnP/1.0",
+            ),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.USER_DISPLAY_NAME, vendor_class="dhcpcd-6.8.2"),
+            tls=TlsConfig(version="1.2", cert_validity_days=20 * 365.25, key_bits=112, port=8009),
+            stun_like_udp_ports=[10002],
+            http_user_agent="Chromecast OS/1.56",
+            open_services=[
+                _tcp(8008, "http", "HTTP/1.1 200 OK", "Chromecast", "1.56"),
+                _tcp(8009, "tls", "", "cast-tls", "1.56"),
+            ],
+            vulnerabilities=[
+                Vulnerability("CVE-2016-2183", "Short TLS keys on 8009 (SWEET32)", "high", 8009, "tcp")
+            ],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="lg-tv-1",
+            vendor="LG",
+            model="LG WebOS TV",
+            category="Media/TV",
+            supports_ipv6=True,
+            uses_eapol=False,  # wired
+            mdns=MdnsConfig(
+                advertise=[("_lg-smart-device._tcp.local", "plain", 3001, {})],
+                query_services=["_airplay._tcp.local"],
+                query_interval=120.0,
+            ),
+            ssdp=SsdpConfig(
+                msearch_targets=["urn:schemas-upnp-org:device:MediaRenderer:1", "urn:lge-com:service:webos-second-screen:1"],
+                msearch_interval=300.0,
+                notify=True,
+                respond=True,
+                server_header="Linux/3.10 UPnP/1.0 LGE WebOS TV/1.0",
+                upnp_version="UPnP/1.0",
+                # §5.1: requests arrive from three firmware versions.
+                firmware_rotation=["WebOS TV/Version 0.9", "WebOS/1.5", "WebOS/4.1.0"],
+            ),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="LG WebOS"),
+            http_user_agent="LG WebOS/4.1.0 UPnP/1.0",
+            open_services=[
+                _tcp(1990, "unknown", "", "", ""),
+                _tcp(3000, "http", "HTTP/1.1 200 OK", "webos-secondscreen", "4.1.0"),
+                _tcp(3001, "https", "", "webos-secondscreen", "4.1.0"),
+                _tcp(9955, "unknown", "", "", ""),
+                _tcp(36866, "unknown", "", "", ""),
+                _udp(1900, "ssdp", "", "", ""),
+            ],
+            vulnerabilities=[
+                Vulnerability("UPNP-1.0-DEPRECATED", "Runs deprecated UPnP 1.0 stack", "medium", 1900, "udp")
+            ],
+            responds_to_udp_scan=True,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="roku-tv-1",
+            vendor="Roku",
+            model="Roku Express",
+            category="Media/TV",
+            supports_ipv6=False,
+            mdns=MdnsConfig(
+                advertise=[("_rsp._tcp.local", "plain", 8060, {})],
+                query_services=[],
+                query_interval=0.0,
+                send_queries=False,
+            ),
+            ssdp=SsdpConfig(
+                msearch_targets=["roku:ecp", "urn:schemas-upnp-org:device:InternetGatewayDevice:1"],
+                msearch_interval=600.0,
+                notify=True,
+                respond=True,
+                server_header="Roku/9.3.0 UPnP/1.0 Roku/9.3.0",
+                upnp_version="UPnP/1.0",
+                search_igd=True,  # §5.1: IGD requests exploitable by malware
+            ),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="dhcpcd-5.5.6"),
+            open_services=[
+                _tcp(8060, "http", "HTTP/1.1 200 OK", "Roku-ECP", "9.3.0"),
+                _tcp(7000, "unknown", "", "", ""),
+            ],
+            vulnerabilities=[
+                Vulnerability("SSDP-IGD-EXPOSURE", "Sends IGD SSDP requests abusable for port-forwarding malware", "medium", 1900, "udp"),
+                Vulnerability("UPNP-1.0-DEPRECATED", "Runs deprecated UPnP 1.0 stack", "medium", 1900, "udp"),
+            ],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="samsung-tv-1",
+            vendor="Samsung",
+            model="Samsung Tizen TV",
+            category="Media/TV",
+            supports_ipv6=True,
+            uses_eapol=False,
+            mdns=MdnsConfig(
+                advertise=[("_airplay._tcp.local", "plain", 7000, {})],
+                query_services=["_googlecast._tcp.local"],
+                query_interval=90.0,
+            ),
+            ssdp=SsdpConfig(
+                notify=True,
+                respond=True,
+                server_header="SHP, UPnP/1.0, Samsung UPnP SDK/1.0",
+                upnp_version="UPnP/1.0",
+            ),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="Samsung-DHCP/1.0"),
+            open_services=[
+                _tcp(8001, "http", "HTTP/1.1 200 OK", "samsung-remote", "2.0"),
+                _tcp(8002, "https", "", "samsung-remote", "2.0"),
+                _tcp(9197, "unknown", "", "", ""),
+                _udp(1900, "ssdp", "", "", ""),
+            ],
+            vulnerabilities=[
+                Vulnerability("UPNP-1.0-DEPRECATED", "Runs deprecated UPnP 1.0 stack", "medium", 1900, "udp")
+            ],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="tivo-stream-1",
+            vendor="TiVo",
+            model="TiVo Stream 4K",
+            category="Media/TV",
+            supports_ipv6=True,
+            mdns=MdnsConfig(
+                advertise=[("_googlecast._tcp.local", "full_mac", 8009, {"md": "TiVo Stream 4K"})],
+                query_services=["_googlecast._tcp.local"],
+                query_interval=30.0,
+            ),
+            dhcp=DhcpConfig(
+                # §5.1: TiVo Stream obfuscates its names with random bytes.
+                hostname_scheme=HostnameScheme.RANDOMIZED,
+                vendor_class="dhcpcd-7.0.1",
+            ),
+            tls=TlsConfig(version="1.2", cert_validity_days=20 * 365.25, key_bits=112, port=8009),
+            open_services=[_tcp(8009, "tls", "", "cast-tls", "1.36")],
+        )
+    )
+    return devices
+
+
+def _surveillance_devices() -> List[DeviceProfile]:
+    devices: List[DeviceProfile] = []
+    devices.append(
+        DeviceProfile(
+            name="amcrest-camera-1",
+            vendor="Amcrest",
+            model="AMC020SC43PJ749D66",
+            category="Surveillance",
+            uses_eapol=False,  # PoE camera
+            ssdp=SsdpConfig(
+                msearch_targets=[],
+                notify=True,
+                respond=True,
+                server_header="Linux, UPnP/1.0, Private UPnP SDK",
+                upnp_version="UPnP/1.0",
+            ),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 0.9.9"),
+            open_services=[
+                _tcp(80, "http", "HTTP/1.1 200 OK", "Amcrest-web", "2.420"),
+                _tcp(443, "https", "", "Amcrest-web", "2.420"),
+                _tcp(554, "rtsp", "RTSP/1.0 200 OK", "Amcrest-rtsp", "1.0"),
+                _udp(37810, "unknown", "", "", ""),
+            ],
+            vulnerabilities=[
+                Vulnerability("UPNP-1.0-DEPRECATED", "Runs deprecated UPnP 1.0 stack", "medium", 1900, "udp")
+            ],
+        )
+    )
+    for index, model in ((1, "Arlo Base Station"), (2, "Arlo Pro 3")):
+        devices.append(
+            DeviceProfile(
+                name=f"arlo-{index}",
+                vendor="Arlo",
+                model=model,
+                category="Surveillance",
+                supports_ipv6=True,
+
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.24.1"),
+                open_services=[_tcp(443, "https", "", "arlo-web", "1.12")] if "Base" in model else [],
+                responds_to_tcp_scan="Base" in model,
+                responds_to_ip_proto_scan="Base" in model,
+            )
+        )
+    devices.append(
+        DeviceProfile(
+            name="blink-camera-1",
+            vendor="Blink",
+            model="Blink Mini",
+            category="Surveillance",
+            uses_icmp=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.19.5"),
+            responds_to_tcp_scan=False,
+            responds_to_ip_proto_scan=False,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="dlink-camera-1",
+            vendor="D-Link",
+            model="DCS-8000LH",
+            category="Surveillance",
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+            tls=TlsConfig(version="1.2", cert_validity_days=25 * 365.25, self_signed=True, port=443),
+            open_services=[
+                _tcp(443, "https", "", "dlink-web", "2.01"),
+                _tcp(8080, "http", "HTTP/1.1 200 OK", "dlink-stream", "2.01"),
+            ],
+        )
+    )
+    for index in (1, 2):
+        devices.append(
+            DeviceProfile(
+                name=f"google-nest-camera-{index}",
+                vendor="Google",
+                model="Nest Cam",
+                category="Surveillance",
+                supports_ipv6=True,
+                mdns=MdnsConfig(
+                    advertise=[("_nest-cam._tcp.local", "mac_suffix", 443, {})],
+                    query_services=["_googlecast._tcp.local"],
+                    query_interval=60.0,
+                ),
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.USER_DISPLAY_NAME, vendor_class="dhcpcd-6.8.2"),
+                tls=TlsConfig(version="1.2", cert_validity_days=20 * 365.25, port=443),
+                open_services=[_tcp(443, "tls", "", "nest-cam", "1.0")],
+            )
+        )
+    devices.append(
+        DeviceProfile(
+            name="icsee-doorbell-1",
+            vendor="ICSee",
+            model="ICSee Doorbell",
+            category="Surveillance",
+            responds_to_ip_proto_scan=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 0.9.9"),
+            open_services=[
+                _tcp(23, "telnet", "login:", "busybox-telnetd", "1.16"),
+                _tcp(34567, "unknown", "", "xmeye-dvrip", "1.0"),
+            ],
+            vulnerabilities=[
+                Vulnerability("TELNET-OPEN", "Telnet service with default credentials", "critical", 23, "tcp")
+            ],
+            responds_to_udp_scan=True,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="lefun-camera-1",
+            vendor="Lefun",
+            model="Lefun Camera",
+            category="Surveillance",
+            responds_to_ip_proto_scan=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.19.4"),
+            open_services=[
+                _tcp(80, "http", "HTTP/1.1 200 OK", "GoAhead-Webs", "2.5"),
+                _tcp(8080, "http", "HTTP/1.1 200 OK", "GoAhead-Webs", "2.5"),
+            ],
+            vulnerabilities=[
+                Vulnerability(
+                    "HTTP-BACKUP-EXPOSURE",
+                    "HTTP server allows accessing backup files with server configuration details",
+                    "high",
+                    80,
+                    "tcp",
+                )
+            ],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="microseven-camera-1",
+            vendor="Microseven",
+            model="Microseven M7",
+            category="Surveillance",
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.19.4"),
+            open_services=[
+                _tcp(80, "http", "HTTP/1.1 200 OK", "jQuery", "1.2"),
+                _tcp(554, "rtsp", "RTSP/1.0 200 OK", "m7-rtsp", "1.0"),
+                _tcp(8000, "onvif", "", "m7-onvif", "1.0"),
+                _tcp(23, "telnet", "login:", "busybox-telnetd", "1.13"),
+            ],
+            vulnerabilities=[
+                Vulnerability("CVE-2020-11022", "jQuery 1.2 XSS via htmlPrefilter", "medium", 80, "tcp"),
+                Vulnerability("CVE-2020-11023", "jQuery 1.2 XSS via option elements", "medium", 80, "tcp"),
+                Vulnerability(
+                    "ONVIF-UNAUTH-SNAPSHOT",
+                    "Remote service allows unauthenticated users to view camera snapshots (ONVIF); "
+                    "user accounts and recording directory enumerable",
+                    "critical",
+                    8000,
+                    "tcp",
+                ),
+                Vulnerability("TELNET-OPEN", "Telnet service enabled", "high", 23, "tcp"),
+            ],
+            responds_to_udp_scan=True,
+        )
+    )
+    ring_models = ["Ring Video Doorbell", "Ring Video Doorbell", "Ring Indoor Cam", "Ring Indoor Cam"]
+    for index, model in enumerate(ring_models, start=1):
+        devices.append(
+            DeviceProfile(
+                name=f"ring-camera-{index}",
+                vendor="Ring",
+                model=model,
+                category="Surveillance",
+                responds_to_ip_proto_scan=False,
+                # §5.1: Ring cameras use their device model name as hostname.
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.24.1"),
+                open_services=[_tcp(443, "https", "", "ring-device", "3.4")] if "Doorbell" in model else [],
+                responds_to_broadcast_arp=False,
+                responds_to_tcp_scan="Doorbell" in model,
+            )
+        )
+    devices.append(
+        DeviceProfile(
+            name="tuya-camera-1",
+            vendor="Tuya",
+            model="Tuya Smart Camera",
+            category="Surveillance",
+            uses_icmp=False,
+            responds_to_ip_proto_scan=False,
+            tuya_broadcast=True,
+            tuya_encrypted=True,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+            open_services=[_udp(6669, "tuya-video", "", "tuya-p2p", "3.3")],
+            responds_to_broadcast_arp=False,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="ubell-doorbell-1",
+            vendor="Ubell",
+            model="Ubell Doorbell",
+            category="Surveillance",
+            uses_icmp=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 0.9.9"),
+            responds_to_tcp_scan=False,
+            responds_to_ip_proto_scan=False,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="wansview-camera-1",
+            vendor="Wansview",
+            model="Wansview Q5",
+            category="Surveillance",
+            responds_to_ip_proto_scan=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.19.4"),
+            open_services=[
+                _tcp(554, "rtsp", "RTSP/1.0 200 OK", "wansview-rtsp", "1.0"),
+                _tcp(8554, "rtsp", "RTSP/1.0 200 OK", "wansview-rtsp", "1.0"),
+            ],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="wyze-cam-1",
+            vendor="Wyze",
+            model="Wyze Cam v2",
+            category="Surveillance",
+            uses_icmp=False,
+            responds_to_ip_proto_scan=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.24.1"),
+            open_services=[_udp(10000, "wyze-p2p", "", "tutk-iotc", "3.1")],
+            responds_to_tcp_scan=False,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="yi-camera-1",
+            vendor="Yi",
+            model="Yi Home Camera",
+            category="Surveillance",
+            responds_to_ip_proto_scan=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.19.4"),
+            open_services=[_tcp(554, "rtsp", "RTSP/1.0 200 OK", "yi-rtsp", "1.0")],
+        )
+    )
+    return devices
+
+
+def _home_automation_devices() -> List[DeviceProfile]:
+    devices: List[DeviceProfile] = []
+    devices.append(
+        DeviceProfile(
+            name="amazon-smart-plug-1",
+            vendor="Amazon",
+            model="Amazon Smart Plug",
+            category="Home Automation",
+            platforms=["alexa"],
+            supports_ipv6=True,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.21.1"),
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="aqara-hub-1",
+            vendor="Aqara",
+            model="Aqara Hub M2",
+            category="Home Automation",
+            supports_ipv6=True,
+            responds_to_ip_proto_scan=False,
+            platforms=["homekit"],
+            mdns=MdnsConfig(
+                advertise=[("_hap._tcp.local", "mac_suffix", 80, {"md": "Aqara Hub M2"})],
+                query_interval=120.0,
+                send_queries=False,
+            ),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+            open_services=[_tcp(80, "http", "HTTP/1.1 200 OK", "aqara-hap", "1.0"), _tcp(4443, "https", "", "aqara-hap", "1.0")],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="google-nest-thermostat-1",
+            vendor="Google",
+            model="Nest Thermostat",
+            category="Home Automation",
+            supports_ipv6=True,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.USER_DISPLAY_NAME, vendor_class="dhcpcd-6.8.2"),
+            tls=TlsConfig(version="1.2", cert_validity_days=20 * 365.25, port=9543),
+            open_services=[_tcp(9543, "tls", "", "nest-weave", "1.0"), _udp(11095, "weave", "", "nest-weave", "1.0")],
+            responds_to_udp_scan=True,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="ikea-tradfri-gateway-1",
+            vendor="IKEA",
+            model="TRADFRI Gateway",
+            category="Home Automation",
+            supports_ipv6=True,
+            uses_eapol=False,  # Ethernet-only gateway
+            mdns=MdnsConfig(advertise=[("_coap._udp.local", "mac_suffix", 5684, {})], send_queries=False),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.24.2"),
+            open_services=[_udp(5684, "coaps", "", "tradfri-coap", "1.12")],
+            responds_to_udp_scan=True,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="magichome-strip-1",
+            vendor="MagicHome",
+            model="MagicHome LED Strip",
+            category="Home Automation",
+            uses_icmp=False,
+            responds_to_ip_proto_scan=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 0.9.9"),
+            open_services=[_tcp(5577, "magichome-ctl", "", "magichome", "1.0")],
+        )
+    )
+    meross_models = ["Meross MSS110", "Meross MSS110", "Meross Garage Door Opener"]
+    for index, model in enumerate(meross_models, start=1):
+        devices.append(
+            DeviceProfile(
+                name=f"meross-{index}",
+                vendor="Meross",
+                model=model,
+                category="Home Automation",
+                supports_ipv6=True,
+                responds_to_ip_proto_scan=False,
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+                open_services=[_tcp(80, "http", "HTTP/1.1 200 OK", "meross-http", "2.1")],
+            )
+        )
+    devices.append(
+        DeviceProfile(
+            name="philips-hue-hub-1",
+            vendor="Philips",
+            model="Philips Hue Bridge",
+            category="Home Automation",
+            uses_eapol=False,  # Ethernet-connected bridge
+            platforms=["alexa", "google-home", "homekit"],
+            supports_ipv6=True,
+            mdns=MdnsConfig(
+                # §5.1/Table 5: Philips Hub reveals its MAC in mDNS hostnames.
+                advertise=[("_hue._tcp.local", "mac_suffix", 443, {"bridgeid": ""})],
+                query_interval=300.0,
+                respond_unicast=True,
+                send_queries=False,
+            ),
+            ssdp=SsdpConfig(
+                notify=True,
+                respond=True,
+                server_header="Hue/1.0 UPnP/1.0 IpBridge/1.50.0",
+                upnp_version="UPnP/1.0",
+            ),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.29.3"),
+            tls=TlsConfig(version="1.2", cert_validity_days=28 * 365.25, self_signed=True, port=443),
+            open_services=[
+                _tcp(80, "http", "HTTP/1.1 200 OK", "hue-api", "1.50"),
+                _tcp(443, "https", "", "hue-api", "1.50"),
+                _udp(1900, "ssdp", "", "", ""),
+            ],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="ring-chime-1",
+            vendor="Ring",
+            model="Ring Chime",
+            category="Home Automation",
+            uses_icmp=False,
+            responds_to_ip_proto_scan=False,
+            # §5.1: Ring Chime's hostname combines device name and MAC.
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.NAME_AND_MAC, vendor_class="udhcp 1.24.1"),
+            responds_to_broadcast_arp=False,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="sengled-hub-1",
+            vendor="Sengled",
+            model="Sengled Smart Hub",
+            category="Home Automation",
+            supports_ipv6=True,
+            uses_eapol=False,  # Ethernet-connected hub
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+            open_services=[_tcp(9080, "http", "HTTP/1.1 200 OK", "sengled-hub", "1.0")],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="smartthings-hub-1",
+            vendor="SmartThings",
+            model="SmartThings Hub v3",
+            category="Home Automation",
+            uses_eapol=False,  # Ethernet-connected hub
+            platforms=["alexa", "google-home"],
+            supports_ipv6=True,
+            mdns=MdnsConfig(advertise=[("_smartthings._tcp.local", "mac_suffix", 443, {})], query_interval=120.0),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.29.3"),
+            tls=TlsConfig(version="1.2", cert_validity_days=24 * 365.25, self_signed=True, port=443),
+            open_services=[_tcp(443, "https", "", "smartthings-hub", "2.0"), _tcp(39500, "http", "", "smartthings-hub", "2.0")],
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="switchbot-hub-1",
+            vendor="SwitchBot",
+            model="SwitchBot Hub Mini",
+            category="Home Automation",
+            uses_icmp=False,
+            responds_to_ip_proto_scan=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+            responds_to_tcp_scan=False,
+        )
+    )
+    for index, model in ((1, "TP-Link HS110 Plug"), (2, "TP-Link KL110 Bulb")):
+        devices.append(
+            DeviceProfile(
+                name=f"tplink-{index}",
+                vendor="TP-Link",
+                model=model,
+                category="Home Automation",
+                platforms=["alexa", "google-home"],
+                tplink_role="server",
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.19.4"),
+                open_services=[
+                    _tcp(9999, "tplink-shp", "", "tplink-shp", "1.5.4"),
+                    _udp(9999, "tplink-shp", "", "tplink-shp", "1.5.4"),
+                ],
+                vulnerabilities=[
+                    Vulnerability(
+                        "TPLINK-SHP-NOAUTH",
+                        "TPLINK-SHP allows unauthenticated local control and leaks plaintext geolocation",
+                        "high",
+                        9999,
+                        "tcp",
+                    )
+                ],
+                responds_to_udp_scan=True,
+            )
+        )
+    tuya_models = ["Tuya Smart Plug", "Tuya Smart Plug", "Jinvoo Bulb"]
+    for index, model in enumerate(tuya_models, start=1):
+        devices.append(
+            DeviceProfile(
+                name=f"tuya-automation-{index}",
+                vendor="Tuya",
+                model=model,
+                category="Home Automation",
+                uses_icmp=False,
+                responds_to_ip_proto_scan=False,
+                tuya_broadcast=True,
+                tuya_encrypted=model != "Jinvoo Bulb",  # Jinvoo: plaintext gwId/productKey
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+                open_services=[_tcp(6668, "tuya-ctl", "", "tuya-local", "3.3")],
+                responds_to_broadcast_arp=False,
+            )
+        )
+    devices.append(
+        DeviceProfile(
+            name="wemo-plug-1",
+            vendor="Belkin",
+            model="WeMo Mini Plug",
+            category="Home Automation",
+            supports_ipv6=False,
+            ssdp=SsdpConfig(
+                notify=True,
+                server_header="Unspecified, UPnP/1.0, Unspecified",
+                upnp_version="UPnP/1.0",
+            ),
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 0.9.9"),
+            open_services=[
+                _tcp(49153, "http.soap", "HTTP/1.1 200 OK", "wemo-upnp", "1.0"),
+                _udp(53, "dns", "", "dnsmasq", "2.47"),
+            ],
+            vulnerabilities=[
+                Vulnerability("NESSUS-12217", "DNS Server Cache Snooping Remote Information Disclosure", "medium", 53, "udp"),
+                Vulnerability("UPNP-1.0-DEPRECATED", "Runs deprecated UPnP 1.0 stack", "medium", 1900, "udp"),
+            ],
+            responds_to_udp_scan=True,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="wiz-bulb-1",
+            vendor="Wiz",
+            model="Wiz Color Bulb",
+            category="Home Automation",
+            supports_ipv6=True,
+            responds_to_ip_proto_scan=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+            open_services=[_udp(38899, "wiz-ctl", "", "wiz-local", "1.22")],
+            responds_to_udp_scan=True,
+            responds_to_tcp_scan=False,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="yeelight-bulb-1",
+            vendor="Yeelight",
+            model="Yeelight Color Bulb",
+            category="Home Automation",
+            supports_ipv6=True,
+            responds_to_ip_proto_scan=False,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.18.4"),
+            open_services=[_tcp(55443, "yeelight-ctl", "", "yeelight-local", "1.4")],
+        )
+    )
+    return devices
+
+
+def _home_appliance_devices() -> List[DeviceProfile]:
+    devices: List[DeviceProfile] = []
+    simple = [
+        ("anova-sousvide-1", "Anova", "Anova Precision Cooker", "udhcp 1.22.1"),
+        ("behmor-brewer-1", "Behmor", "Behmor Connected Brewer", "udhcp 0.9.9"),
+        ("smarter-coffee-1", "Smarter", "Smarter Coffee 2nd Gen", "udhcp 1.18.4"),
+        ("xiaomi-ricecooker-1", "Xiaomi", "Xiaomi Rice Cooker", "udhcp 1.22.1"),
+    ]
+    for name, vendor, model, client in simple:
+        devices.append(
+            DeviceProfile(
+                name=name,
+                vendor=vendor,
+                model=model,
+                category="Home Appliance",
+                uses_icmp=name in ("anova-sousvide-1", "xiaomi-ricecooker-1"),
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class=client),
+                responds_to_tcp_scan=False,
+            )
+        )
+    devices.append(
+        DeviceProfile(
+            name="blueair-purifier-1",
+            vendor="Blueair",
+            model="Blueair Classic 480i",
+            category="Home Appliance",
+            supports_ipv6=True,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="ge-microwave-1",
+            vendor="GE",
+            model="GE Smart Microwave",
+            category="Home Appliance",
+            # §5.1: GE Microwave obfuscates hostnames with random bytes.
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.RANDOMIZED, vendor_class="udhcp 1.24.2"),
+            responds_to_tcp_scan=False,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="lg-dishwasher-1",
+            vendor="LG",
+            model="LG ThinQ Dishwasher",
+            category="Home Appliance",
+            supports_ipv6=True,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="LG ThinQ-DHCP/1.0"),
+            responds_to_tcp_scan=False,
+        )
+    )
+    devices.append(
+        DeviceProfile(
+            name="samsung-fridge-1",
+            vendor="Samsung",
+            model="Samsung Family Hub Fridge",
+            category="Home Appliance",
+            supports_ipv6=True,
+            # §5.1: the fridge requests an IoTivity URI over CoAP.
+            coap_role="iotivity-client",
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="Samsung-DHCP/1.0"),
+            open_services=[_tcp(8001, "http", "HTTP/1.1 200 OK", "family-hub", "3.0"), _udp(5683, "coap", "", "iotivity", "2.0")],
+            responds_to_udp_scan=True,
+        )
+    )
+    for index, model in ((1, "Samsung Smart Washer"), (2, "Samsung Smart Dryer")):
+        devices.append(
+            DeviceProfile(
+                name=f"samsung-laundry-{index}",
+                vendor="Samsung",
+                model=model,
+                category="Home Appliance",
+                supports_ipv6=True,
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="Samsung-DHCP/1.0"),
+                responds_to_tcp_scan=False,
+            )
+        )
+    return devices
+
+
+def _generic_iot_devices() -> List[DeviceProfile]:
+    devices: List[DeviceProfile] = []
+    simple = [
+        ("keyco-air-1", "Keyco", "Keyco Air Sensor", "udhcp 0.9.9"),
+        ("oxylink-oximeter-1", "Oxylink", "Oxylink Oximeter", "udhcp 1.18.4"),
+        ("renpho-scale-1", "Renpho", "Renpho Smart Scale", "udhcp 1.18.4"),
+    ]
+    for name, vendor, model, client in simple:
+        devices.append(
+            DeviceProfile(
+                name=name,
+                vendor=vendor,
+                model=model,
+                category="Generic IoT",
+                uses_icmp=False,
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class=client),
+                responds_to_tcp_scan=False,
+                responds_to_ip_proto_scan=False,
+            )
+        )
+    devices.append(
+        DeviceProfile(
+            name="tuya-sensor-1",
+            vendor="Tuya",
+            model="Tuya Motion Sensor",
+            category="Generic IoT",
+            uses_icmp=False,
+            responds_to_ip_proto_scan=False,
+            tuya_broadcast=True,
+            tuya_encrypted=True,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.VENDOR_AND_PARTIAL_MAC, vendor_class="udhcp 1.22.1"),
+            responds_to_broadcast_arp=False,
+            responds_to_tcp_scan=False,
+        )
+    )
+    for index, model in ((1, "Withings Body+ Scale"), (2, "Withings Sleep Analyzer"), (3, "Withings BPM Connect")):
+        devices.append(
+            DeviceProfile(
+                name=f"withings-{index}",
+                vendor="Withings",
+                model=model,
+                category="Generic IoT",
+                uses_icmp=False,
+                dhcp=DhcpConfig(hostname_scheme=HostnameScheme.MODEL, vendor_class="udhcp 1.24.1"),
+                responds_to_tcp_scan=False,
+                responds_to_ip_proto_scan=False,
+            )
+        )
+    return devices
+
+
+def _game_console_devices() -> List[DeviceProfile]:
+    return [
+        DeviceProfile(
+            name="nintendo-switch-1",
+            vendor="Nintendo",
+            model="Nintendo Switch",
+            category="Game Console",
+            supports_ipv6=True,
+            # Appendix C.2: its EAPOL layer-2 traffic confuses nDPI
+            # (mislabeled as AmazonAWS); modeled via heavy EAPOL use.
+            uses_eapol=True,
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.RANDOMIZED, vendor_class="Nintendo netagent"),
+            responds_to_tcp_scan=False,
+        )
+    ]
+
+
+def _voice_assistant_devices() -> List[DeviceProfile]:
+    devices: List[DeviceProfile] = []
+    echo_models = [
+        "Echo Spot",
+        "Echo Show 5",
+        "Echo Show 8",
+        "Echo Dot 3rd Gen",
+        "Echo Dot 3rd Gen",
+        "Echo Dot 3rd Gen",
+        "Echo Dot 4th Gen",
+        "Echo Dot 4th Gen",
+        "Echo 2nd Gen",
+        "Echo 2nd Gen",
+        "Echo 3rd Gen",
+        "Echo 3rd Gen",
+        "Echo Plus",
+        "Echo Flex",
+        "Echo Flex",
+        "Echo Studio",
+        "Echo Input",
+    ]
+    for index, model in enumerate(echo_models, start=1):
+        devices.append(_amazon_echo(index, model))
+    for index, model in enumerate(["HomePod Mini", "HomePod Mini", "HomePod"], start=1):
+        devices.append(_apple_speaker(index, model))
+    devices.append(_meta_portal(1))
+    google_models = [
+        ("Home Mini", False),
+        ("Home Mini", False),
+        ("Nest Mini", False),
+        ("Nest Mini", False),
+        ("Nest Hub", True),
+        ("Nest Hub", True),
+        ("Nest Audio", False),
+    ]
+    for index, (model, is_hub) in enumerate(google_models, start=1):
+        devices.append(_google_speaker(index, model, is_hub))
+    return devices
+
+
+def _add_device_specific_ports(catalog: List[DeviceProfile]) -> None:
+    """Give UPnP/companion devices their per-device ephemeral listeners.
+
+    Real UPnP stacks open event-subscription and companion-control
+    listeners on ephemeral ports that differ per device; this is what
+    drives the long tail of "178 unique open TCP ports and 115 unique
+    open UDP ports" (§4.2).  Ports are deterministic functions of the
+    device's catalog index so runs are reproducible.
+    """
+    for index, profile in enumerate(catalog):
+        if not profile.open_services:
+            continue
+        has_tcp = any(service.transport == "tcp" for service in profile.open_services)
+        if (profile.ssdp or profile.mdns) and has_tcp:
+            profile.open_services.append(
+                _tcp(49400 + 2 * index, "upnp-event", "", "upnp-eventd", "1.0")
+            )
+            profile.open_services.append(_tcp(50200 + 3 * index, "companion", "", "", ""))
+        if profile.category in ("Surveillance", "Voice Assistant", "Media/TV"):
+            profile.open_services.append(_udp(40000 + 7 * index, "keepalive", "", "", ""))
+        if profile.category == "Voice Assistant":
+            profile.open_services.append(_tcp(58000 + 5 * index, "diagnostics", "", "", ""))
+            profile.open_services.append(_udp(33000 + 11 * index, "sync", "", "", ""))
+
+
+#: §5.1: "Six devices also send requests for public IPs, which may be an
+#: intentional behavior to identify device and network misconfigurations."
+_PUBLIC_IP_PROBERS = (
+    "lg-tv-1", "samsung-tv-1", "roku-tv-1", "amazon-fire-tv-1",
+    "smartthings-hub-1", "nintendo-switch-1",
+)
+
+
+def _assign_broadcast_arp_policy(catalog: List[DeviceProfile]) -> None:
+    """§5.1: only 58% of devices answer Echo's *broadcast* ARP sweeps.
+
+    Responding is typical of full network stacks (speakers, TVs, hubs);
+    battery/RTOS-class firmware commonly ignores broadcast who-has for
+    addresses learned elsewhere.  Unicast ARP is always answered.
+    """
+    always_respond = {"Voice Assistant", "Media/TV"}
+    for index, profile in enumerate(catalog):
+        if profile.category in always_respond:
+            profile.responds_to_broadcast_arp = True
+        elif "Hub" in profile.model or "Bridge" in profile.model or "Gateway" in profile.model:
+            profile.responds_to_broadcast_arp = True
+        elif profile.category in ("Generic IoT", "Home Appliance"):
+            profile.responds_to_broadcast_arp = False
+        elif profile.category == "Surveillance":
+            # Alternate: half the cameras answer broadcast ARP.
+            profile.responds_to_broadcast_arp = index % 2 == 0
+        elif profile.category == "Home Automation":
+            profile.responds_to_broadcast_arp = index % 3 == 0
+        # Game console keeps its default (True).
+
+
+#: Devices whose DHCP requests carry no hostname (§5.1: hostnames were
+#: identified for only 67% of devices).
+_NO_HOSTNAME = {
+    "keyco-air-1", "oxylink-oximeter-1", "renpho-scale-1", "tuya-sensor-1",
+    "withings-1", "withings-2", "withings-3",
+    "anova-sousvide-1", "behmor-brewer-1", "smarter-coffee-1",
+    "xiaomi-ricecooker-1", "blueair-purifier-1",
+    "blink-camera-1", "ubell-doorbell-1", "wansview-camera-1", "yi-camera-1",
+    "icsee-doorbell-1", "lefun-camera-1", "microseven-camera-1",
+    "dlink-camera-1", "arlo-2", "wyze-cam-1",
+    "magichome-strip-1", "sengled-hub-1", "switchbot-hub-1", "wiz-bulb-1",
+    "yeelight-bulb-1", "meross-1", "meross-2", "meross-3", "aqara-hub-1",
+}
+
+#: Vendors whose clients identify themselves with a version string
+#: (§5.1: 16 unique versions from ~40% of devices; "37 devices —
+#: including Amazon Echo and Google ones — use old or custom DHCP
+#: client versions").  Amazon 19 + Google 11 + Samsung 4 + LG 2 +
+#: Nintendo 1 = 37 devices.
+_VERSION_SENDERS = {"Amazon", "Google", "Samsung", "LG", "Nintendo"}
+
+#: Extra parameter-request option groups rotated across categories so
+#: the testbed requests ~30 distinct data types (§5.1), including the
+#: deprecated SMTP Server (69), Name Server (5), and Root Path (17).
+_EXTRA_OPTION_GROUPS = [
+    [2, 4, 7],          # time offset, time server, log server
+    [5, 17, 69],        # the deprecated trio the paper calls out
+    [9, 44, 47],        # LPR, NetBIOS name server / scope
+    [57, 58, 59],       # max size, renewal, rebinding
+    [81, 119, 121],     # FQDN, domain search, classless routes
+    [33, 125, 43],      # static routes, vendor-identifying, vendor-specific
+    [66, 67, 116],      # TFTP server, bootfile, auto-config
+]
+
+
+#: Per-vendor client-version pools (firmware generations differ across a
+#: vendor's fleet), rotated so the testbed shows 16 unique versions.
+_VERSION_POOLS = {
+    "Amazon": ["udhcp 1.21.1", "udhcp 1.19.4", "udhcp 1.24.2", "udhcp 1.14.3",
+               "udhcp 1.16.2", "udhcp 1.12.1"],
+    "Google": ["dhcpcd-6.8.2:Linux-4.9:armv7l", "dhcpcd-6.11.5", "dhcpcd-6.4.3",
+               "dhcpcd-5.5.6", "dhcpcd-5.2.12"],
+    "Samsung": ["Samsung-DHCP/1.0", "Samsung-DHCP/2.1"],
+    "LG": ["LG WebOS", "LG ThinQ-DHCP/1.0"],
+    "Nintendo": ["Nintendo netagent"],
+}
+
+
+def _tune_dhcp_exposure(catalog: List[DeviceProfile]) -> None:
+    """Apply the §5.1 DHCP exposure marginals to the catalog."""
+    version_cursor: Dict[str, int] = {}
+    for index, profile in enumerate(catalog):
+        if profile.name in _NO_HOSTNAME:
+            profile.dhcp.hostname_scheme = None
+        if profile.vendor in _VERSION_POOLS:
+            pool = _VERSION_POOLS[profile.vendor]
+            cursor = version_cursor.get(profile.vendor, 0)
+            profile.dhcp.vendor_class = pool[cursor % len(pool)]
+            version_cursor[profile.vendor] = cursor + 1
+        else:
+            profile.dhcp.vendor_class = ""
+        if profile.category == "Generic IoT":
+            profile.dhcp.parameter_request = []
+        else:
+            extras = _EXTRA_OPTION_GROUPS[index % len(_EXTRA_OPTION_GROUPS)]
+            merged = list(profile.dhcp.parameter_request)
+            for option in extras:
+                if option not in merged:
+                    merged.append(option)
+            profile.dhcp.parameter_request = merged
+
+
+def build_catalog() -> List[DeviceProfile]:
+    """Build the full 93-device testbed catalog (Table 3)."""
+    catalog: List[DeviceProfile] = []
+    catalog.extend(_game_console_devices())
+    catalog.extend(_generic_iot_devices())
+    catalog.extend(_home_appliance_devices())
+    catalog.extend(_home_automation_devices())
+    catalog.extend(_media_devices())
+    catalog.extend(_surveillance_devices())
+    catalog.extend(_voice_assistant_devices())
+    names = [profile.name for profile in catalog]
+    if len(names) != len(set(names)):
+        raise RuntimeError("catalog contains duplicate device names")
+    _add_device_specific_ports(catalog)
+    _assign_broadcast_arp_policy(catalog)
+    for profile in catalog:
+        if profile.name in _PUBLIC_IP_PROBERS:
+            profile.arp_scan.probe_public_ips = True
+    _tune_dhcp_exposure(catalog)
+    return catalog
+
+
+def catalog_summary(catalog: List[DeviceProfile]) -> Dict[str, Dict[str, int]]:
+    """Vendor counts per category — the structure of Table 3."""
+    summary: Dict[str, Dict[str, int]] = {}
+    for profile in catalog:
+        per_vendor = summary.setdefault(profile.category, {})
+        per_vendor[profile.vendor] = per_vendor.get(profile.vendor, 0) + 1
+    return summary

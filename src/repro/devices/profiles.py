@@ -1,0 +1,180 @@
+"""Device behaviour profiles.
+
+A :class:`DeviceProfile` is the declarative description of one testbed
+device: identity, discovery behaviour, identifier-exposure policy, open
+services, and known vulnerabilities.  Profiles are interpreted by
+``repro.devices.behaviors`` to produce on-wire traffic, and by the
+active scanners to answer probes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.simnet.services import ServiceInfo
+
+
+class HostnameScheme(enum.Enum):
+    """DHCP/display hostname construction schemes observed in §5.1."""
+
+    MODEL = "model"  # e.g. Ring cameras: the device model name
+    NAME_AND_MAC = "name_and_mac"  # e.g. Ring Chime: device name + MAC
+    VENDOR_AND_PARTIAL_MAC = "vendor_partial_mac"  # e.g. Tuya devices
+    USER_DISPLAY_NAME = "user_display_name"  # e.g. "Jane Doe's Kitchen Homepod"
+    RANDOMIZED = "randomized"  # e.g. GE Microwave / TiVo: random bytes per request
+
+
+@dataclass
+class MdnsConfig:
+    """mDNS behaviour: what to advertise, what to ask, how often."""
+
+    #: (service_type, instance_scheme, port, txt) tuples to advertise.
+    #: instance_scheme values: "plain", "mac_suffix", "full_mac",
+    #: "display_name", "spotify_zeroconf".
+    advertise: List[Tuple[str, str, int, Dict[str, str]]] = field(default_factory=list)
+    query_services: List[str] = field(default_factory=list)
+    query_interval: float = 60.0  # §5.1: big vendors query every 20-100 s
+    respond_multicast: bool = True  # ~98% of mDNS devices
+    respond_unicast: bool = False  # ~20%
+    send_queries: bool = True  # ~90%
+
+
+@dataclass
+class SsdpConfig:
+    """SSDP behaviour: M-SEARCH targets, NOTIFY advertising, responses."""
+
+    msearch_targets: List[str] = field(default_factory=list)
+    msearch_interval: float = 0.0  # 0 = no periodic search
+    notify: bool = False
+    notify_interval: float = 1800.0
+    respond: bool = False
+    server_header: str = ""
+    upnp_version: str = "UPnP/1.1"
+    #: Fire TV misconfiguration (§5.1): NOTIFY announces a /16 location.
+    bad_location_prefix: bool = False
+    #: Roku (§5.1): sends IGD-related M-SEARCH, exploitable by malware.
+    search_igd: bool = False
+    #: LG TV (§5.1): requests sent by three different firmware versions.
+    firmware_rotation: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ArpScanConfig:
+    """ARP scanning behaviour (§5.1, Amazon Echo)."""
+
+    broadcast_sweep_interval: float = 0.0  # 0 = none; Echo: daily
+    unicast_probe_fraction: float = 0.0  # Echo probes ~83% of other devices
+    probe_public_ips: bool = False  # six devices request public IPs
+
+
+@dataclass
+class DhcpConfig:
+    """DHCP client behaviour: hostname scheme + requested options."""
+
+    hostname_scheme: Optional[HostnameScheme] = HostnameScheme.MODEL
+    vendor_class: str = ""  # the "DHCP client name and version" leak
+    parameter_request: List[int] = field(default_factory=lambda: [1, 3, 6, 12, 15])
+    renew_interval: float = 0.0  # 0 = only on boot
+
+
+@dataclass
+class TlsConfig:
+    """Local TLS posture (§5.2 per-vendor findings)."""
+
+    version: str = "1.2"  # "1.2" or "1.3"
+    cert_validity_days: float = 365.0
+    self_signed: bool = False
+    #: Amazon: CN is a 192.168/16 IP or 0.0.0.0, validity 3 months, mutual auth.
+    cn_scheme: str = "hostname"  # "hostname", "local_ip", "zero_ip"
+    mutual_auth: bool = False
+    key_bits: int = 2048  # Google port-8009: 64-122 bits (SWEET32 exposure)
+    port: int = 443
+
+
+@dataclass
+class Vulnerability:
+    """A scanner-detectable security finding (feeds the Nessus analogue)."""
+
+    cve: str  # CVE id or scanner plugin name
+    summary: str
+    severity: str = "medium"  # low / medium / high / critical
+    service_port: int = 0
+    service_transport: str = "tcp"
+
+
+@dataclass
+class DeviceProfile:
+    """Everything the simulator and scanners need to know about a device."""
+
+    name: str  # unique instance name, e.g. "amazon-echo-spot-1"
+    vendor: str
+    model: str
+    category: str  # one of the seven Table 3 categories
+    display_name: str = ""  # user-defined name ("Jane Doe's Kitchen Homepod")
+    platforms: List[str] = field(default_factory=list)  # alexa / google-home / homekit
+    supports_ipv6: bool = False
+    uses_eapol: bool = True  # Ethernet-only devices don't
+    uses_icmp: bool = True
+    mdns: Optional[MdnsConfig] = None
+    ssdp: Optional[SsdpConfig] = None
+    arp_scan: ArpScanConfig = field(default_factory=ArpScanConfig)
+    dhcp: DhcpConfig = field(default_factory=DhcpConfig)
+    tls: Optional[TlsConfig] = None
+    #: TPLINK-SHP: "server" answers sysinfo queries, "client" sends them.
+    tplink_role: Optional[str] = None
+    tuya_broadcast: bool = False
+    tuya_encrypted: bool = False
+    coap_role: Optional[str] = None  # "iotivity-client" or "opaque"
+    #: RTP streaming: (port, interval) — Echo multi-room uses UDP 55444.
+    rtp_port: int = 0
+    #: Periodic broadcast to an unknown UDP port (Echo -> 56700 / Lifx).
+    unknown_broadcast_port: int = 0
+    unknown_broadcast_interval: float = 7200.0
+    #: Behavioural quirks driving Fig. 3 disagreements.
+    stun_like_udp_ports: List[int] = field(default_factory=list)
+    open_services: List[ServiceInfo] = field(default_factory=list)
+    vulnerabilities: List[Vulnerability] = field(default_factory=list)
+    http_user_agent: str = ""  # only Google products and LG TV send one
+    responds_to_broadcast_arp: bool = True
+    responds_to_tcp_scan: bool = True
+    responds_to_udp_scan: bool = False
+    responds_to_ip_proto_scan: bool = True
+    #: Matter support (§4.1: Amazon Echo emits IPv6-based Matter traffic).
+    matter: bool = False
+
+    def __post_init__(self):
+        if not self.display_name:
+            self.display_name = self.model
+
+    @property
+    def uses_mdns(self) -> bool:
+        return self.mdns is not None
+
+    @property
+    def uses_ssdp(self) -> bool:
+        return self.ssdp is not None
+
+    def exposed_identifier_types(self) -> List[str]:
+        """Which identifier classes this device leaks (drives Table 1)."""
+        exposed = {"MAC"}  # every frame carries the MAC
+        if self.dhcp.hostname_scheme in (
+            HostnameScheme.MODEL,
+            HostnameScheme.NAME_AND_MAC,
+            HostnameScheme.VENDOR_AND_PARTIAL_MAC,
+        ):
+            exposed.add("Device/Model")
+        if self.dhcp.hostname_scheme is HostnameScheme.USER_DISPLAY_NAME:
+            exposed.add("Display name")
+        if self.ssdp and (self.ssdp.respond or self.ssdp.notify):
+            exposed.add("UUIDs")
+            if self.ssdp.server_header:
+                exposed.add("OS Version")
+        if self.tplink_role == "server":
+            exposed.update({"Geolocation", "OEM id", "Device/Model"})
+        if self.tuya_broadcast:
+            exposed.update({"GW id", "Prod. Key"})
+        if self.vulnerabilities:
+            exposed.add("Outdated OS/SW")
+        return sorted(exposed)

@@ -1,0 +1,32 @@
+"""Protocol honeypots deployed inside the simulated home LAN.
+
+§3.1: "we deploy various honeypots within the same network as our IoT
+devices.  These honeypots capture network scans from IoT devices and
+issue authentic responses to requests, mimicking real-world device
+interactions.  They support protocols such as SSDP, mDNS, UPnP,
+HTTP(S), and telnet.  Given our control over these responses, the
+honeypots give us the ability to track how information propagates
+through the IoT devices."
+
+Each honeypot answers its protocol with uniquely-marked responses and
+logs every contact; the marker tokens let the exfiltration analysis
+(§6) trace where honeypot-served data reappears.
+"""
+
+from repro.honeypot.base import Honeypot, HoneypotEvent, HoneypotLog
+from repro.honeypot.ssdp import SsdpHoneypot
+from repro.honeypot.mdns import MdnsHoneypot
+from repro.honeypot.http import HttpHoneypot
+from repro.honeypot.telnet import TelnetHoneypot
+from repro.honeypot.farm import HoneypotFarm
+
+__all__ = [
+    "Honeypot",
+    "HoneypotEvent",
+    "HoneypotLog",
+    "SsdpHoneypot",
+    "MdnsHoneypot",
+    "HttpHoneypot",
+    "TelnetHoneypot",
+    "HoneypotFarm",
+]

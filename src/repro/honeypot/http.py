@@ -1,0 +1,53 @@
+"""HTTP(S) honeypot: serves marked device descriptions and logs clients."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.honeypot.base import Honeypot, HoneypotLog
+from repro.net.decode import DecodedPacket
+from repro.protocols.http import HttpRequest, HttpResponse
+from repro.protocols.ssdp import device_description_xml
+from repro.simnet.services import ServiceInfo
+
+
+class HttpHoneypot(Honeypot):
+    """Answers HTTP on 80/49152 — where SSDP LOCATION URLs point."""
+
+    protocol = "http"
+
+    def __init__(self, name: str = "honeypot-http", mac="02:00:00:00:00:a3",
+                 log: Optional[HoneypotLog] = None):
+        super().__init__(name=name, mac=mac, log=log)
+        for port in (80, 443, 49152):
+            self.services.add(ServiceInfo(port, "tcp", "http" if port != 443 else "https",
+                                          "HTTP/1.1 200 OK", "HoneyHTTPd", "1.0"))
+            self.on_tcp(port, type(self)._on_http)
+
+    def attach_to(self, lan) -> "HttpHoneypot":
+        lan.attach(self)
+        return self
+
+    def _on_http(self, packet: DecodedPacket) -> None:
+        try:
+            request = HttpRequest.decode(packet.tcp.payload)
+        except ValueError:
+            self.record_contact(packet, "non-HTTP payload on HTTP port")
+            return
+        marker = self.next_marker()
+        agent = request.user_agent or "-"
+        self.record_contact(packet, f"{request.method} {request.path} UA={agent}", marker=marker)
+        body = device_description_xml(
+            friendly_name=f"Honey Device {marker}",
+            manufacturer="HoneyWorks",
+            model_name="HW-HTTP",
+            udn=marker,
+            serial_number=str(self.mac),
+        ).encode("utf-8")
+        response = HttpResponse(200, "OK", {"Server": "HoneyHTTPd/1.0", "Content-Type": "text/xml"}, body)
+        reply_segment = packet.tcp.__class__(
+            packet.tcp.dst_port, packet.tcp.src_port,
+            seq=1, ack=packet.tcp.seq + len(packet.tcp.payload),
+            flags=packet.tcp.flags, payload=response.encode(),
+        )
+        self.send_tcp_segment(packet.src_ip, reply_segment, dst_mac=packet.frame.src)

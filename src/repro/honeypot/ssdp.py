@@ -1,0 +1,74 @@
+"""SSDP/UPnP honeypot: answers M-SEARCH with a marked fake device."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.honeypot.base import Honeypot, HoneypotLog
+from repro.net.decode import DecodedPacket
+from repro.protocols.ssdp import (
+    SSDP_GROUP_V4,
+    SSDP_PORT,
+    SsdpMessage,
+    SsdpMethod,
+    ST_ALL,
+    ST_ROOT_DEVICE,
+    device_description_xml,
+)
+
+
+class SsdpHoneypot(Honeypot):
+    """Emulates a UPnP MediaRenderer and logs every searcher.
+
+    Unlike U-PoT (which hunts malicious UPnP activity), this honeypot
+    "emulates real smart devices to monitor data dissemination" (§8):
+    the USN and friendlyName carry a per-response marker so responses
+    can be traced through whoever harvested them.
+    """
+
+    protocol = "ssdp"
+
+    def __init__(self, name: str = "honeypot-ssdp", mac="02:00:00:00:00:a1",
+                 log: Optional[HoneypotLog] = None):
+        super().__init__(name=name, mac=mac, log=log)
+        self.on_udp(SSDP_PORT, type(self)._on_ssdp)
+
+    def attach_to(self, lan) -> "SsdpHoneypot":
+        lan.attach(self)
+        self.join_group(SSDP_GROUP_V4)
+        return self
+
+    def _on_ssdp(self, packet: DecodedPacket) -> None:
+        try:
+            message = SsdpMessage.decode(packet.udp.payload)
+        except ValueError:
+            self.record_contact(packet, "undecodable SSDP payload")
+            return
+        if message.method is SsdpMethod.MSEARCH:
+            marker = self.next_marker()
+            target = message.search_target or ST_ALL
+            reply_target = ST_ROOT_DEVICE if target == ST_ALL else target
+            reply = SsdpMessage.response(
+                location=f"http://{self.ip}:49152/desc-{marker}.xml",
+                search_target=reply_target,
+                usn=f"uuid:{marker}::{reply_target}",
+                server="Linux/4.4 UPnP/1.1 HoneyRenderer/1.0",
+            )
+            self.send_udp(packet.src_ip, packet.udp.src_port, reply.encode(), src_port=SSDP_PORT)
+            self.record_contact(packet, f"M-SEARCH for {target}", marker=marker)
+        elif message.method is SsdpMethod.NOTIFY:
+            self.record_contact(
+                packet,
+                f"NOTIFY {message.search_target or ''} usn={message.usn or ''}",
+            )
+
+    def description_xml(self, marker: str) -> str:
+        """The device description served for a marked LOCATION URL."""
+        return device_description_xml(
+            friendly_name=f"Honey Renderer {marker}",
+            manufacturer="HoneyWorks",
+            model_name="HR-1",
+            udn=marker,
+            serial_number=str(self.mac),
+            services=["urn:schemas-upnp-org:service:AVTransport:1"],
+        )

@@ -1,0 +1,55 @@
+"""Telnet honeypot: presents a login banner and logs credential attempts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.honeypot.base import Honeypot, HoneypotLog
+from repro.net.decode import DecodedPacket
+from repro.net.tcp import TcpFlags, TcpSegment
+from repro.simnet.services import ServiceInfo
+
+TELNET_PORT = 23
+
+
+class TelnetHoneypot(Honeypot):
+    """A busybox-style telnet endpoint that never authenticates anyone."""
+
+    protocol = "telnet"
+    BANNER = b"\r\nHoneyOS v1.0\r\nlogin: "
+
+    def __init__(self, name: str = "honeypot-telnet", mac="02:00:00:00:00:a4",
+                 log: Optional[HoneypotLog] = None):
+        super().__init__(name=name, mac=mac, log=log)
+        self.services.add(ServiceInfo(TELNET_PORT, "tcp", "telnet", "login:", "HoneyOS", "1.0"))
+        self.on_tcp(TELNET_PORT, type(self)._on_telnet)
+        #: (src_ip, src_port) -> received line fragments
+        self._sessions: Dict[Tuple[str, int], List[bytes]] = {}
+        self.credential_attempts: List[Tuple[str, str]] = []  # (src_ip, line)
+
+    def attach_to(self, lan) -> "TelnetHoneypot":
+        lan.attach(self)
+        return self
+
+    def _on_telnet(self, packet: DecodedPacket) -> None:
+        key = (packet.src_ip, packet.tcp.src_port)
+        fragments = self._sessions.setdefault(key, [])
+        data = packet.tcp.payload
+        fragments.append(data)
+        line = b"".join(fragments)
+        if b"\n" in line or b"\r" in line:
+            attempt = line.strip().decode("utf-8", "replace")
+            if attempt:
+                self.credential_attempts.append((packet.src_ip, attempt))
+            self._sessions[key] = []
+            summary = f"credential attempt: {attempt!r}"
+        else:
+            summary = f"{len(data)} bytes of session input"
+        self.record_contact(packet, summary)
+        reply = TcpSegment(
+            TELNET_PORT, packet.tcp.src_port,
+            seq=1, ack=packet.tcp.seq + len(data),
+            flags=TcpFlags.ACK | TcpFlags.PSH,
+            payload=self.BANNER,
+        )
+        self.send_tcp_segment(packet.src_ip, reply, dst_mac=packet.frame.src)

@@ -1,0 +1,36 @@
+"""The IoT Inspector crowdsourced dataset substrate (§3.3, §6.3, App. E).
+
+The real dataset (13,487 devices across 3,893 households, with full
+mDNS/SSDP response payloads) is not redistributable; this package
+generates a synthetic equivalent with the paper's marginals and real
+wire-format payloads, then *measures* — rather than copies — the
+Table 2 entropy results from it.
+"""
+
+from repro.inspector.schema import InspectedDevice, Household, InspectorDataset, FlowRecord
+from repro.inspector.generate import generate_dataset, ExposureClass, ProductSpec
+from repro.inspector.entropy import (
+    extract_names,
+    extract_uuids,
+    extract_macs,
+    EntropyAnalysis,
+    analyze_dataset,
+)
+from repro.inspector.labels import DeviceLabeler, LabelResult
+
+__all__ = [
+    "InspectedDevice",
+    "Household",
+    "InspectorDataset",
+    "FlowRecord",
+    "generate_dataset",
+    "ExposureClass",
+    "ProductSpec",
+    "extract_names",
+    "extract_uuids",
+    "extract_macs",
+    "EntropyAnalysis",
+    "analyze_dataset",
+    "DeviceLabeler",
+    "LabelResult",
+]

@@ -1,0 +1,167 @@
+"""Household-fingerprintability entropy analysis (§6.3, Table 2).
+
+From every mDNS and SSDP payload we extract what appear to be unique
+identifiers:
+
+1. **Names** — "an English word followed by an apostrophe, 's', space,
+   and another word" (e.g. ``Roku 3 - REDACTED's Room``).
+2. **UUIDs** — the standard RFC 4122 pattern.
+3. **MAC addresses** — standard formats with and without separators,
+   validated against the OUI IoT Inspector collected for the device to
+   reduce false positives.
+
+Fingerprintability is quantified as entropy ``-log2(1/N)`` (N = number
+of distinct values per identifier type, the EFF "Cover Your Tracks"
+measure) and as the fraction of households uniquely identified by their
+identifier-value combination.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.inspector.schema import Household, InspectedDevice, InspectorDataset
+
+#: "an English word... followed by an apostrophe, 's', space, another word"
+NAME_RE = re.compile(r"\b([A-Z][A-Za-z]+)'s\s+(\w+)")
+UUID_RE = re.compile(
+    r"\b[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}\b"
+)
+MAC_SEPARATED_RE = re.compile(r"\b(?:[0-9a-fA-F]{2}[:-]){5}[0-9a-fA-F]{2}\b")
+MAC_BARE_RE = re.compile(r"\b[0-9a-fA-F]{12}\b")
+
+
+def extract_names(text: str) -> Set[str]:
+    """First-name identifiers ("Alex's Room" -> "Alex")."""
+    return {match.group(1) for match in NAME_RE.finditer(text)}
+
+
+def extract_uuids(text: str) -> Set[str]:
+    return {match.group(0).lower() for match in UUID_RE.finditer(text)}
+
+
+def extract_macs(text: str, oui: Optional[str] = None, validate_oui: bool = True) -> Set[str]:
+    """MAC-address identifiers, OUI-validated to cut false positives.
+
+    The §6.3 method compares each candidate with the OUI IoT Inspector
+    collected for the device and filters mismatches.
+    """
+    candidates: Set[str] = set()
+    for match in MAC_SEPARATED_RE.finditer(text):
+        candidates.add(match.group(0).lower().replace("-", ":"))
+    for match in MAC_BARE_RE.finditer(text):
+        raw = match.group(0).lower()
+        candidates.add(":".join(raw[i : i + 2] for i in range(0, 12, 2)))
+    if not validate_oui or oui is None:
+        return candidates
+    prefix = oui.lower().replace("-", ":")
+    return {mac for mac in candidates if mac.startswith(prefix)}
+
+
+def device_identifiers(device: InspectedDevice, validate_oui: bool = True) -> Dict[str, Set[str]]:
+    """Extract all three identifier classes from one device's payloads."""
+    text = device.all_payload_text()
+    return {
+        "name": extract_names(text),
+        "uuid": {u for u in extract_uuids(text)},
+        "mac": extract_macs(text, device.oui, validate_oui),
+    }
+
+
+@dataclass
+class ExposureRow:
+    """One row of Table 2: households exposing a given identifier set."""
+
+    identifier_types: FrozenSet[str]
+    products: Set[str] = field(default_factory=set)
+    vendors: Set[str] = field(default_factory=set)
+    devices: int = 0
+    households: Set[str] = field(default_factory=set)
+    #: household id -> frozenset of identifier values (the fingerprint)
+    fingerprints: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    @property
+    def type_count(self) -> int:
+        return len(self.identifier_types)
+
+    @property
+    def household_count(self) -> int:
+        return len(self.households)
+
+    def unique_household_fraction(self) -> float:
+        """Fraction of households uniquely identified by their values."""
+        if not self.fingerprints:
+            return 0.0
+        counts = Counter(self.fingerprints.values())
+        unique = sum(1 for fingerprint in self.fingerprints.values() if counts[fingerprint] == 1)
+        return unique / len(self.fingerprints)
+
+
+@dataclass
+class EntropyAnalysis:
+    """The full Table 2 computation."""
+
+    rows: Dict[FrozenSet[str], ExposureRow] = field(default_factory=dict)
+    #: identifier type -> set of distinct observed values (for entropy)
+    distinct_values: Dict[str, Set[str]] = field(default_factory=dict)
+    none_row: ExposureRow = field(
+        default_factory=lambda: ExposureRow(identifier_types=frozenset())
+    )
+
+    def entropy_of(self, identifier_type: str) -> float:
+        """-log2(1/N) over distinct values of one identifier type."""
+        count = len(self.distinct_values.get(identifier_type, ()))
+        return math.log2(count) if count > 0 else 0.0
+
+    def entropy_of_combination(self, types: FrozenSet[str]) -> float:
+        """Combined entropy: independent identifiers add (Table 2 rows)."""
+        return sum(self.entropy_of(identifier_type) for identifier_type in sorted(types))
+
+    def table_rows(self) -> List[Tuple[int, str, ExposureRow, float]]:
+        """(type_count, label, row, entropy), ordered like Table 2."""
+        ordered = sorted(
+            self.rows.values(),
+            key=lambda row: (row.type_count, ",".join(sorted(row.identifier_types))),
+        )
+        output = [(0, "N/A", self.none_row, 0.0)]
+        for row in ordered:
+            label = ", ".join(sorted(row.identifier_types))
+            output.append((row.type_count, label, row, self.entropy_of_combination(row.identifier_types)))
+        return output
+
+
+def analyze_dataset(dataset: InspectorDataset, validate_oui: bool = True) -> EntropyAnalysis:
+    """Run the §6.3 extraction + entropy computation over the corpus."""
+    analysis = EntropyAnalysis()
+    for household in dataset.households:
+        # identifier-type set -> pooled values for this household
+        per_combo: Dict[FrozenSet[str], Set[str]] = {}
+        for device in household.devices:
+            identifiers = device_identifiers(device, validate_oui)
+            exposed = frozenset(
+                identifier_type for identifier_type, values in identifiers.items() if values
+            )
+            if not exposed:
+                analysis.none_row.products.add(device.truth_product)
+                analysis.none_row.vendors.add(device.truth_vendor)
+                analysis.none_row.devices += 1
+                analysis.none_row.households.add(household.user_id)
+                continue
+            row = analysis.rows.setdefault(exposed, ExposureRow(identifier_types=exposed))
+            row.products.add(device.truth_product)
+            row.vendors.add(device.truth_vendor)
+            row.devices += 1
+            row.households.add(household.user_id)
+            values: Set[str] = set()
+            for identifier_type in exposed:
+                for value in identifiers[identifier_type]:
+                    values.add(value)
+                    analysis.distinct_values.setdefault(identifier_type, set()).add(value)
+            per_combo.setdefault(exposed, set()).update(values)
+        for exposed, values in per_combo.items():
+            analysis.rows[exposed].fingerprints[household.user_id] = frozenset(values)
+    return analysis

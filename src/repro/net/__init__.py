@@ -1,0 +1,52 @@
+"""Network substrate: addresses, packet codecs, pcap I/O, and flows.
+
+This subpackage provides the low-level plumbing that every other part of
+the reproduction builds on.  All codecs operate on real wire formats so
+that captures produced by the simulator can be re-parsed, classified,
+and inspected exactly like captures from a physical testbed.
+"""
+
+from repro.net.mac import MacAddress, BROADCAST_MAC
+from repro.net.ether import EtherType, EthernetFrame
+from repro.net.arp import ArpPacket, ArpOp
+from repro.net.ipv4 import Ipv4Packet, IpProtocol
+from repro.net.ipv6 import Ipv6Packet
+from repro.net.udp import UdpDatagram
+from repro.net.tcp import TcpSegment, TcpFlags
+from repro.net.icmp import IcmpMessage, Icmpv6Message
+from repro.net.igmp import IgmpMessage
+from repro.net.eapol import EapolFrame
+from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.flows import Flow, FlowKey, FlowTable, assemble_flows
+from repro.net.filters import LocalTrafficFilter
+from repro.net.oui import OuiRegistry, DEFAULT_OUI_REGISTRY
+
+__all__ = [
+    "MacAddress",
+    "BROADCAST_MAC",
+    "EtherType",
+    "EthernetFrame",
+    "ArpPacket",
+    "ArpOp",
+    "Ipv4Packet",
+    "IpProtocol",
+    "Ipv6Packet",
+    "UdpDatagram",
+    "TcpSegment",
+    "TcpFlags",
+    "IcmpMessage",
+    "Icmpv6Message",
+    "IgmpMessage",
+    "EapolFrame",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+    "Flow",
+    "FlowKey",
+    "FlowTable",
+    "assemble_flows",
+    "LocalTrafficFilter",
+    "OuiRegistry",
+    "DEFAULT_OUI_REGISTRY",
+]

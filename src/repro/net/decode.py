@@ -1,0 +1,162 @@
+"""Layered packet decoding: raw frame bytes -> structured view.
+
+This is the single entry point used by the flow assembler, the traffic
+classifiers, the exposure analysis and the honeypots to interpret
+captured bytes, mirroring how the paper post-processes tcpdump output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.arp import ArpPacket
+from repro.net.eapol import EapolFrame
+from repro.net.ether import EthernetFrame, EtherType
+from repro.net.icmp import IcmpMessage, Icmpv6Message
+from repro.net.igmp import IgmpMessage
+from repro.net.ipv4 import IpProtocol, Ipv4Packet
+from repro.net.ipv6 import Ipv6Packet
+from repro.net.tcp import TcpSegment
+from repro.net.udp import UdpDatagram
+
+
+@dataclass
+class DecodedPacket:
+    """A fully decoded frame with every recognized layer attached.
+
+    Layers that are absent (or failed to parse) are ``None``.  The
+    original bytes are always retained in ``frame.payload`` so payload
+    analyses never lose information to decoding.
+    """
+
+    timestamp: float
+    frame: EthernetFrame
+    arp: Optional[ArpPacket] = None
+    eapol: Optional[EapolFrame] = None
+    ipv4: Optional[Ipv4Packet] = None
+    ipv6: Optional[Ipv6Packet] = None
+    udp: Optional[UdpDatagram] = None
+    tcp: Optional[TcpSegment] = None
+    icmp: Optional[IcmpMessage] = None
+    icmpv6: Optional[Icmpv6Message] = None
+    igmp: Optional[IgmpMessage] = None
+
+    @property
+    def src_ip(self) -> Optional[str]:
+        if self.ipv4:
+            return self.ipv4.src
+        if self.ipv6:
+            return self.ipv6.src
+        return None
+
+    @property
+    def dst_ip(self) -> Optional[str]:
+        if self.ipv4:
+            return self.ipv4.dst
+        if self.ipv6:
+            return self.ipv6.dst
+        return None
+
+    @property
+    def src_port(self) -> Optional[int]:
+        transport = self.udp or self.tcp
+        return transport.src_port if transport else None
+
+    @property
+    def dst_port(self) -> Optional[int]:
+        transport = self.udp or self.tcp
+        return transport.dst_port if transport else None
+
+    @property
+    def transport(self) -> Optional[str]:
+        if self.udp:
+            return "udp"
+        if self.tcp:
+            return "tcp"
+        return None
+
+    @property
+    def app_payload(self) -> bytes:
+        """The application-layer payload, or b"" when there is none."""
+        if self.udp:
+            return self.udp.payload
+        if self.tcp:
+            return self.tcp.payload
+        return b""
+
+    @property
+    def ip_protocol(self) -> Optional[int]:
+        if self.ipv4:
+            return self.ipv4.protocol
+        if self.ipv6:
+            return self.ipv6.next_header
+        return None
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.frame.is_multicast and not self.frame.is_broadcast
+
+    @property
+    def is_broadcast(self) -> bool:
+        if self.frame.is_broadcast:
+            return True
+        return bool(self.ipv4 and self.ipv4.dst == "255.255.255.255")
+
+    @property
+    def is_unicast(self) -> bool:
+        return not self.frame.is_multicast
+
+
+def decode_frame(data: bytes, timestamp: float = 0.0) -> DecodedPacket:
+    """Decode raw Ethernet bytes into a :class:`DecodedPacket`.
+
+    Decoding is forgiving: a malformed inner layer leaves that layer
+    ``None`` rather than failing the whole packet, matching how
+    dissectors behave on partially captured traffic.
+    """
+    frame = EthernetFrame.decode(data)
+    packet = DecodedPacket(timestamp=timestamp, frame=frame)
+    kind = frame.kind
+    try:
+        if kind is EtherType.ARP:
+            packet.arp = ArpPacket.decode(frame.payload)
+        elif kind is EtherType.EAPOL:
+            packet.eapol = EapolFrame.decode(frame.payload)
+        elif kind is EtherType.IPV4:
+            packet.ipv4 = Ipv4Packet.decode(frame.payload)
+            _decode_ipv4_transport(packet)
+        elif kind is EtherType.IPV6:
+            packet.ipv6 = Ipv6Packet.decode(frame.payload)
+            _decode_ipv6_transport(packet)
+    except ValueError:
+        pass
+    return packet
+
+
+def _decode_ipv4_transport(packet: DecodedPacket) -> None:
+    ip = packet.ipv4
+    try:
+        if ip.protocol == IpProtocol.UDP:
+            packet.udp = UdpDatagram.decode(ip.payload)
+        elif ip.protocol == IpProtocol.TCP:
+            packet.tcp = TcpSegment.decode(ip.payload)
+        elif ip.protocol == IpProtocol.ICMP:
+            packet.icmp = IcmpMessage.decode(ip.payload)
+        elif ip.protocol == IpProtocol.IGMP:
+            packet.igmp = IgmpMessage.decode(ip.payload)
+    except ValueError:
+        pass
+
+
+def _decode_ipv6_transport(packet: DecodedPacket) -> None:
+    ip = packet.ipv6
+    try:
+        if ip.next_header == IpProtocol.UDP:
+            packet.udp = UdpDatagram.decode(ip.payload)
+        elif ip.next_header == IpProtocol.TCP:
+            packet.tcp = TcpSegment.decode(ip.payload)
+        elif ip.next_header == IpProtocol.IPV6_ICMP:
+            packet.icmpv6 = Icmpv6Message.decode(ip.payload)
+    except ValueError:
+        pass

@@ -1,0 +1,54 @@
+"""EAPOL (IEEE 802.1X) frame codec.
+
+84% of testbed devices emit EAPOL (Fig. 2) — the WPA2 4-way handshake
+every Wi-Fi client performs.  We model the EAPOL-Key frames enough for
+the classifier to recognize them as non-IP layer-2 traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+
+class EapolType(enum.IntEnum):
+    EAP_PACKET = 0
+    START = 1
+    LOGOFF = 2
+    KEY = 3
+
+
+_HEADER = struct.Struct("!BBH")
+
+
+@dataclass
+class EapolFrame:
+    """A decoded EAPOL frame (carried in Ethernet type 0x888E)."""
+
+    packet_type: int = EapolType.KEY
+    version: int = 2
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(self.version, self.packet_type, len(self.body)) + self.body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EapolFrame":
+        if len(data) < _HEADER.size:
+            raise ValueError(f"truncated EAPOL frame: {len(data)} bytes")
+        version, packet_type, length = _HEADER.unpack_from(data)
+        return cls(
+            packet_type=packet_type,
+            version=version,
+            body=data[_HEADER.size : _HEADER.size + length],
+        )
+
+    @classmethod
+    def key_frame(cls, message_number: int = 1) -> "EapolFrame":
+        """A placeholder WPA2 4-way-handshake key frame (message 1..4)."""
+        if not 1 <= message_number <= 4:
+            raise ValueError("4-way handshake has messages 1..4")
+        body = struct.pack("!BH", 2, 0x008A if message_number % 2 else 0x010A)
+        body += bytes(93)  # replay counter, nonces, MIC, key data length
+        return cls(EapolType.KEY, 2, body)

@@ -1,0 +1,133 @@
+"""IPv4 packet codec with real header checksums.
+
+The classifier (§3.5) extracts the ``protocol`` field from IP headers to
+identify transport protocols, and the Appendix C.1 filter keeps packets
+whose source *and* destination fall in RFC 1918 space.
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+import struct
+from dataclasses import dataclass, field
+
+
+class IpProtocol(enum.IntEnum):
+    """IP protocol numbers observed across the study."""
+
+    ICMP = 1
+    IGMP = 2
+    TCP = 6
+    UDP = 17
+    IPV6_ICMP = 58
+
+    @classmethod
+    def name_of(cls, value: int) -> str:
+        try:
+            return cls(value).name
+        except ValueError:
+            return f"IPPROTO_{value}"
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 16-bit one's-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+_HEADER = struct.Struct("!BBHHHBBH4s4s")
+
+
+@dataclass
+class Ipv4Packet:
+    """A decoded IPv4 packet (no options support; IHL is always 5)."""
+
+    src: str
+    dst: str
+    protocol: int
+    payload: bytes = b""
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+
+    def __post_init__(self):
+        self.src = str(ipaddress.IPv4Address(self.src))
+        self.dst = str(ipaddress.IPv4Address(self.dst))
+
+    @property
+    def is_multicast(self) -> bool:
+        return ipaddress.IPv4Address(self.dst).is_multicast
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst == "255.255.255.255" or self.dst.endswith(".255")
+
+    @property
+    def is_local(self) -> bool:
+        """True when both endpoints are in private (RFC 1918) space."""
+        return (
+            ipaddress.IPv4Address(self.src).is_private
+            and ipaddress.IPv4Address(self.dst).is_private
+        )
+
+    def encode(self) -> bytes:
+        total_length = _HEADER.size + len(self.payload)
+        header_wo_checksum = _HEADER.pack(
+            (4 << 4) | 5,  # version 4, IHL 5
+            self.dscp << 2,
+            total_length,
+            self.identification,
+            0,  # flags/fragment offset: never fragmented in our LAN
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            ipaddress.IPv4Address(self.src).packed,
+            ipaddress.IPv4Address(self.dst).packed,
+        )
+        checksum = internet_checksum(header_wo_checksum)
+        header = header_wo_checksum[:10] + struct.pack("!H", checksum) + header_wo_checksum[12:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify_checksum: bool = False) -> "Ipv4Packet":
+        if len(data) < _HEADER.size:
+            raise ValueError(f"truncated IPv4 packet: {len(data)} bytes")
+        (ver_ihl, tos, total_length, ident, _flags, ttl, proto, checksum, src, dst) = (
+            _HEADER.unpack_from(data)
+        )
+        version = ver_ihl >> 4
+        ihl = ver_ihl & 0x0F
+        if version != 4:
+            raise ValueError(f"not an IPv4 packet (version={version})")
+        header_len = ihl * 4
+        if header_len < 20 or len(data) < header_len:
+            raise ValueError(f"bad IPv4 header length: {header_len}")
+        if verify_checksum and internet_checksum(data[:header_len]) != 0:
+            raise ValueError("IPv4 header checksum mismatch")
+        payload = data[header_len:total_length] if total_length else data[header_len:]
+        return cls(
+            src=str(ipaddress.IPv4Address(src)),
+            dst=str(ipaddress.IPv4Address(dst)),
+            protocol=proto,
+            payload=payload,
+            ttl=ttl,
+            identification=ident,
+            dscp=tos >> 2,
+        )
+
+
+def pseudo_header_checksum(src: str, dst: str, protocol: int, segment: bytes) -> int:
+    """Transport checksum over the IPv4 pseudo-header + segment (RFC 793/768)."""
+    pseudo = (
+        ipaddress.IPv4Address(src).packed
+        + ipaddress.IPv4Address(dst).packed
+        + struct.pack("!BBH", 0, protocol, len(segment))
+    )
+    return internet_checksum(pseudo + segment)

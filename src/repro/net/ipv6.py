@@ -1,0 +1,89 @@
+"""IPv6 packet codec.
+
+59% of testbed devices support IPv6 (§4.1); ICMPv6 neighbor discovery
+over IPv6 multicast is one of the discovery channels that exposes MAC
+addresses (§5.1), and the new Matter standard runs over IPv6.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass
+
+_HEADER = struct.Struct("!IHBB16s16s")
+
+
+@dataclass
+class Ipv6Packet:
+    """A decoded IPv6 packet (no extension-header support)."""
+
+    src: str
+    dst: str
+    next_header: int
+    payload: bytes = b""
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+
+    def __post_init__(self):
+        self.src = str(ipaddress.IPv6Address(self.src))
+        self.dst = str(ipaddress.IPv6Address(self.dst))
+
+    @property
+    def is_multicast(self) -> bool:
+        return ipaddress.IPv6Address(self.dst).is_multicast
+
+    @property
+    def is_link_local(self) -> bool:
+        return (
+            ipaddress.IPv6Address(self.src).is_link_local
+            and not ipaddress.IPv6Address(self.dst).is_global
+        )
+
+    def encode(self) -> bytes:
+        first_word = (6 << 28) | (self.traffic_class << 20) | (self.flow_label & 0xFFFFF)
+        return (
+            _HEADER.pack(
+                first_word,
+                len(self.payload),
+                self.next_header,
+                self.hop_limit,
+                ipaddress.IPv6Address(self.src).packed,
+                ipaddress.IPv6Address(self.dst).packed,
+            )
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Ipv6Packet":
+        if len(data) < _HEADER.size:
+            raise ValueError(f"truncated IPv6 packet: {len(data)} bytes")
+        first_word, payload_len, next_header, hop_limit, src, dst = _HEADER.unpack_from(data)
+        version = first_word >> 28
+        if version != 6:
+            raise ValueError(f"not an IPv6 packet (version={version})")
+        payload = data[_HEADER.size : _HEADER.size + payload_len]
+        return cls(
+            src=str(ipaddress.IPv6Address(src)),
+            dst=str(ipaddress.IPv6Address(dst)),
+            next_header=next_header,
+            payload=payload,
+            hop_limit=hop_limit,
+            traffic_class=(first_word >> 20) & 0xFF,
+            flow_label=first_word & 0xFFFFF,
+        )
+
+
+def link_local_from_mac(mac) -> str:
+    """Derive an fe80:: link-local address from a MAC via EUI-64 (RFC 4291).
+
+    This is the SLAAC behaviour (§5.1) that embeds the MAC address into
+    the IPv6 address, turning every IPv6 packet into an identifier leak.
+    """
+    from repro.net.mac import MacAddress
+
+    octets = bytearray(MacAddress(mac).packed)
+    octets[0] ^= 0x02  # flip the universal/local bit
+    eui64 = bytes(octets[:3]) + b"\xff\xfe" + bytes(octets[3:])
+    return str(ipaddress.IPv6Address(b"\xfe\x80" + b"\x00" * 6 + eui64))

@@ -1,0 +1,58 @@
+"""IEEE 802.2 LLC frames, including XID.
+
+Figure 2 lists XID/LLC among the broadcast protocols 93% of devices
+use: legacy stacks (TVs, appliances, game consoles) emit 802.3 frames
+whose "EtherType" field is actually a length, with an LLC header and an
+XID (exchange identification) control field.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.ether import EthernetFrame
+from repro.net.mac import BROADCAST_MAC, MacAddress
+
+#: LLC control byte for XID with the poll/final bit set.
+XID_CONTROL = 0xBF
+#: Null SAP: the classic "IPX/legacy discovery" XID destination.
+NULL_SAP = 0x00
+
+
+@dataclass
+class LlcFrame:
+    """An 802.2 LLC PDU (DSAP, SSAP, control, information)."""
+
+    dsap: int = NULL_SAP
+    ssap: int = NULL_SAP
+    control: int = XID_CONTROL
+    information: bytes = b""
+
+    def encode(self) -> bytes:
+        return struct.pack("!BBB", self.dsap, self.ssap, self.control) + self.information
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LlcFrame":
+        if len(data) < 3:
+            raise ValueError(f"truncated LLC PDU: {len(data)} bytes")
+        dsap, ssap, control = struct.unpack_from("!BBB", data)
+        return cls(dsap=dsap, ssap=ssap, control=control, information=data[3:])
+
+    @property
+    def is_xid(self) -> bool:
+        # XID control is 0xAF or 0xBF depending on the P/F bit.
+        return self.control in (0xAF, 0xBF)
+
+    @classmethod
+    def xid_probe(cls) -> "LlcFrame":
+        """The standard XID class-of-service probe (format id 0x81)."""
+        return cls(NULL_SAP, NULL_SAP, XID_CONTROL, bytes([0x81, 0x01, 0x00]))
+
+
+def xid_broadcast_frame(src_mac) -> bytes:
+    """A broadcast 802.3 frame carrying an XID probe."""
+    pdu = LlcFrame.xid_probe().encode()
+    # The "EtherType" is the 802.3 payload length (< 0x600 => LLC).
+    frame = EthernetFrame(BROADCAST_MAC, MacAddress(src_mac), len(pdu), pdu)
+    return frame.encode()

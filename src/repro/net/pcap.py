@@ -1,0 +1,134 @@
+"""Classic libpcap file reader/writer.
+
+The MonIoTr AP stores captured traffic "in separate files for each MAC
+address" (§3.1).  We implement the classic pcap format (as written by
+tcpdump) from scratch: 24-byte global header + 16-byte per-record
+headers, microsecond timestamps, link type Ethernet.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """A raw captured frame with its capture timestamp (seconds)."""
+
+    timestamp: float
+    data: bytes
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+
+class PcapWriter:
+    """Write Ethernet frames into a classic pcap file.
+
+    Usable as a context manager::
+
+        with PcapWriter(path) as writer:
+            writer.write(timestamp, frame_bytes)
+    """
+
+    def __init__(self, path, snaplen: int = 65535):
+        self._path = Path(path)
+        self._file = open(self._path, "wb")
+        self._file.write(
+            _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, LINKTYPE_ETHERNET)
+        )
+        self._snaplen = snaplen
+        self.packet_count = 0
+
+    def write(self, timestamp: float, data: bytes) -> None:
+        ts_sec = int(timestamp)
+        ts_usec = int(round((timestamp - ts_sec) * 1_000_000))
+        if ts_usec >= 1_000_000:
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        captured = data[: self._snaplen]
+        self._file.write(_RECORD_HEADER.pack(ts_sec, ts_usec, len(captured), len(data)))
+        self._file.write(captured)
+        self.packet_count += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterate over the packets of a classic pcap file.
+
+    Handles both native and byte-swapped magic numbers.
+    """
+
+    def __init__(self, path):
+        self._path = Path(path)
+        self._file = open(self._path, "rb")
+        header = self._file.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise ValueError(f"{self._path}: not a pcap file (too short)")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            self._endian = "<"
+        elif magic == PCAP_MAGIC_SWAPPED:
+            self._endian = ">"
+        else:
+            raise ValueError(f"{self._path}: bad pcap magic {magic:#x}")
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        self.version = (fields[1], fields[2])
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        record = struct.Struct(self._endian + "IIII")
+        while True:
+            header = self._file.read(record.size)
+            if len(header) < record.size:
+                return
+            ts_sec, ts_usec, incl_len, _orig_len = record.unpack(header)
+            data = self._file.read(incl_len)
+            if len(data) < incl_len:
+                raise ValueError(f"{self._path}: truncated packet record")
+            yield CapturedPacket(ts_sec + ts_usec / 1_000_000, data)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_pcap(path, packets: Iterable[Tuple[float, bytes]]) -> int:
+    """Write ``(timestamp, frame)`` pairs to ``path``; returns the count."""
+    with PcapWriter(path) as writer:
+        for timestamp, data in packets:
+            writer.write(timestamp, data)
+        return writer.packet_count
+
+
+def read_pcap(path) -> List[CapturedPacket]:
+    """Read every packet of a pcap file into memory."""
+    with PcapReader(path) as reader:
+        return list(reader)

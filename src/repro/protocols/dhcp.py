@@ -1,0 +1,257 @@
+"""DHCP codec (RFC 2131/2132).
+
+§5.1: 86 devices request 30 different option types (including deprecated
+ones like SMTP Server and Root Path) and "carelessly respond and expose"
+hostnames and DHCP client versions.  The hostname option (12) and the
+vendor class identifier (60, the "client version") are the leaks the
+exposure analysis extracts; hostnames identify 67% of devices.
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.mac import MacAddress
+
+DHCP_SERVER_PORT = 67
+DHCP_CLIENT_PORT = 68
+MAGIC_COOKIE = b"\x63\x82\x53\x63"
+
+
+class DhcpMessageType(enum.IntEnum):
+    DISCOVER = 1
+    OFFER = 2
+    REQUEST = 3
+    DECLINE = 4
+    ACK = 5
+    NAK = 6
+    RELEASE = 7
+    INFORM = 8
+
+
+class DhcpOption(enum.IntEnum):
+    """Option codes seen in the testbed's parameter-request lists."""
+
+    PAD = 0
+    SUBNET_MASK = 1
+    TIME_OFFSET = 2
+    ROUTER = 3
+    TIME_SERVER = 4
+    NAME_SERVER = 5  # deprecated IEN-116 name server (§5.1)
+    DNS_SERVER = 6
+    LOG_SERVER = 7
+    LPR_SERVER = 9
+    HOSTNAME = 12
+    DOMAIN_NAME = 15
+    ROOT_PATH = 17  # deprecated (§5.1)
+    INTERFACE_MTU = 26
+    BROADCAST_ADDRESS = 28
+    NTP_SERVER = 42
+    NETBIOS_NAME_SERVER = 44
+    REQUESTED_IP = 50
+    LEASE_TIME = 51
+    MESSAGE_TYPE = 53
+    SERVER_ID = 54
+    PARAMETER_REQUEST_LIST = 55
+    MAX_MESSAGE_SIZE = 57
+    RENEWAL_TIME = 58
+    REBINDING_TIME = 59
+    VENDOR_CLASS = 60  # "DHCP client name and version" leak
+    CLIENT_ID = 61
+    SMTP_SERVER = 69  # deprecated standard requested by devices (§5.1)
+    CLIENT_FQDN = 81
+    DOMAIN_SEARCH = 119
+    CLASSLESS_ROUTES = 121
+    END = 255
+
+
+_FIXED = struct.Struct("!BBBBIHH4s4s4s4s16s64s128s")
+
+
+@dataclass
+class DhcpMessage:
+    """A BOOTP/DHCP message with TLV options."""
+
+    op: int  # 1 = BOOTREQUEST, 2 = BOOTREPLY
+    transaction_id: int
+    client_mac: MacAddress
+    client_ip: str = "0.0.0.0"
+    your_ip: str = "0.0.0.0"
+    server_ip: str = "0.0.0.0"
+    options: Dict[int, bytes] = field(default_factory=dict)
+    option_order: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.client_mac = MacAddress(self.client_mac)
+        if not self.option_order:
+            self.option_order = list(self.options)
+
+    def set_option(self, code: int, value: bytes) -> None:
+        if code not in self.options:
+            self.option_order.append(int(code))
+        self.options[int(code)] = value
+
+    def encode(self) -> bytes:
+        fixed = _FIXED.pack(
+            self.op,
+            1,  # htype Ethernet
+            6,  # hlen
+            0,  # hops
+            self.transaction_id,
+            0,  # secs
+            0,  # flags
+            ipaddress.IPv4Address(self.client_ip).packed,
+            ipaddress.IPv4Address(self.your_ip).packed,
+            ipaddress.IPv4Address(self.server_ip).packed,
+            b"\x00" * 4,  # giaddr
+            self.client_mac.packed + b"\x00" * 10,
+            b"\x00" * 64,  # sname
+            b"\x00" * 128,  # file
+        )
+        out = bytearray(fixed + MAGIC_COOKIE)
+        for code in self.option_order:
+            value = self.options[code]
+            out += bytes([code, len(value)]) + value
+        out.append(DhcpOption.END)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DhcpMessage":
+        if len(data) < _FIXED.size + 4:
+            raise ValueError(f"truncated DHCP message: {len(data)} bytes")
+        fields = _FIXED.unpack_from(data)
+        cookie_offset = _FIXED.size
+        if data[cookie_offset : cookie_offset + 4] != MAGIC_COOKIE:
+            raise ValueError("missing DHCP magic cookie")
+        message = cls(
+            op=fields[0],
+            transaction_id=fields[4],
+            client_mac=MacAddress(fields[11][:6]),
+            client_ip=str(ipaddress.IPv4Address(fields[7])),
+            your_ip=str(ipaddress.IPv4Address(fields[8])),
+            server_ip=str(ipaddress.IPv4Address(fields[9])),
+        )
+        offset = cookie_offset + 4
+        while offset < len(data):
+            code = data[offset]
+            if code == DhcpOption.END:
+                break
+            if code == DhcpOption.PAD:
+                offset += 1
+                continue
+            if offset + 1 >= len(data):
+                raise ValueError("truncated DHCP option header")
+            length = data[offset + 1]
+            value = data[offset + 2 : offset + 2 + length]
+            if len(value) < length:
+                raise ValueError("truncated DHCP option value")
+            message.set_option(code, value)
+            offset += 2 + length
+        return message
+
+    # -- typed accessors -------------------------------------------------------
+
+    @property
+    def message_type(self) -> Optional[DhcpMessageType]:
+        raw = self.options.get(DhcpOption.MESSAGE_TYPE)
+        if raw:
+            try:
+                return DhcpMessageType(raw[0])
+            except ValueError:
+                return None
+        return None
+
+    @property
+    def hostname(self) -> Optional[str]:
+        raw = self.options.get(DhcpOption.HOSTNAME)
+        return raw.decode("utf-8", "replace") if raw else None
+
+    @property
+    def vendor_class(self) -> Optional[str]:
+        raw = self.options.get(DhcpOption.VENDOR_CLASS)
+        return raw.decode("utf-8", "replace") if raw else None
+
+    @property
+    def parameter_request_list(self) -> List[int]:
+        raw = self.options.get(DhcpOption.PARAMETER_REQUEST_LIST, b"")
+        return list(raw)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def discover(
+        cls,
+        mac,
+        transaction_id: int,
+        hostname: str = None,
+        vendor_class: str = None,
+        parameter_request: List[int] = None,
+    ) -> "DhcpMessage":
+        message = cls(op=1, transaction_id=transaction_id, client_mac=mac)
+        message.set_option(DhcpOption.MESSAGE_TYPE, bytes([DhcpMessageType.DISCOVER]))
+        message.set_option(DhcpOption.CLIENT_ID, b"\x01" + MacAddress(mac).packed)
+        if hostname is not None:
+            message.set_option(DhcpOption.HOSTNAME, hostname.encode("utf-8"))
+        if vendor_class is not None:
+            message.set_option(DhcpOption.VENDOR_CLASS, vendor_class.encode("utf-8"))
+        if parameter_request:
+            message.set_option(DhcpOption.PARAMETER_REQUEST_LIST, bytes(parameter_request))
+        return message
+
+    @classmethod
+    def request(
+        cls,
+        mac,
+        transaction_id: int,
+        requested_ip: str,
+        server_ip: str,
+        hostname: str = None,
+        vendor_class: str = None,
+        parameter_request: List[int] = None,
+    ) -> "DhcpMessage":
+        message = cls(op=1, transaction_id=transaction_id, client_mac=mac)
+        message.set_option(DhcpOption.MESSAGE_TYPE, bytes([DhcpMessageType.REQUEST]))
+        message.set_option(DhcpOption.CLIENT_ID, b"\x01" + MacAddress(mac).packed)
+        message.set_option(
+            DhcpOption.REQUESTED_IP, ipaddress.IPv4Address(requested_ip).packed
+        )
+        message.set_option(DhcpOption.SERVER_ID, ipaddress.IPv4Address(server_ip).packed)
+        if hostname is not None:
+            message.set_option(DhcpOption.HOSTNAME, hostname.encode("utf-8"))
+        if vendor_class is not None:
+            message.set_option(DhcpOption.VENDOR_CLASS, vendor_class.encode("utf-8"))
+        if parameter_request:
+            message.set_option(DhcpOption.PARAMETER_REQUEST_LIST, bytes(parameter_request))
+        return message
+
+    @classmethod
+    def reply(
+        cls,
+        to: "DhcpMessage",
+        message_type: DhcpMessageType,
+        your_ip: str,
+        server_ip: str,
+        router: str,
+        subnet_mask: str = "255.255.255.0",
+        dns_server: str = None,
+        lease_time: int = 86400,
+    ) -> "DhcpMessage":
+        message = cls(
+            op=2,
+            transaction_id=to.transaction_id,
+            client_mac=to.client_mac,
+            your_ip=your_ip,
+            server_ip=server_ip,
+        )
+        message.set_option(DhcpOption.MESSAGE_TYPE, bytes([message_type]))
+        message.set_option(DhcpOption.SERVER_ID, ipaddress.IPv4Address(server_ip).packed)
+        message.set_option(DhcpOption.LEASE_TIME, struct.pack("!I", lease_time))
+        message.set_option(DhcpOption.SUBNET_MASK, ipaddress.IPv4Address(subnet_mask).packed)
+        message.set_option(DhcpOption.ROUTER, ipaddress.IPv4Address(router).packed)
+        if dns_server:
+            message.set_option(DhcpOption.DNS_SERVER, ipaddress.IPv4Address(dns_server).packed)
+        return message

@@ -1,0 +1,104 @@
+"""Minimal HTTP/1.1 request/response codec.
+
+Plaintext HTTP is the most popular application-layer protocol in the
+testbed (40% of devices, Fig. 2); §5.2 mines HTTP metadata: User-Agent
+strings (only Google products and the LG TV send one), SOAP control
+requests for SSDP/UPnP services, and server banners that identify
+exploitable software versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+def _encode_headers(headers: Dict[str, str]) -> str:
+    return "".join(f"{key}: {value}\r\n" for key, value in headers.items())
+
+
+def _decode_head(text: str) -> Tuple[str, Dict[str, str], str]:
+    head, _, body = text.partition("\r\n\r\n")
+    lines = head.split("\r\n")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        key, sep, value = line.partition(":")
+        if sep:
+            headers[key.strip().title()] = value.strip()
+    return lines[0], headers, body
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def encode(self) -> bytes:
+        headers = dict(self.headers)
+        if self.body and "Content-Length" not in headers:
+            headers["Content-Length"] = str(len(self.body))
+        start = f"{self.method} {self.path} {self.version}\r\n"
+        return (start + _encode_headers(headers) + "\r\n").encode("utf-8") + self.body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HttpRequest":
+        text = data.decode("utf-8", "replace")
+        start, headers, body = _decode_head(text)
+        parts = start.split(" ", 2)
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ValueError(f"not an HTTP request: {start!r}")
+        return cls(
+            method=parts[0],
+            path=parts[1],
+            headers=headers,
+            body=body.encode("utf-8"),
+            version=parts[2],
+        )
+
+    @property
+    def user_agent(self) -> Optional[str]:
+        return self.headers.get("User-Agent")
+
+    @property
+    def is_soap(self) -> bool:
+        """True for UPnP SOAP control requests (SOAPACTION header)."""
+        return any(key.upper() == "SOAPACTION" for key in self.headers)
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    reason: str = "OK"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def encode(self) -> bytes:
+        headers = dict(self.headers)
+        if "Content-Length" not in headers:
+            headers["Content-Length"] = str(len(self.body))
+        start = f"{self.version} {self.status} {self.reason}\r\n"
+        return (start + _encode_headers(headers) + "\r\n").encode("utf-8") + self.body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HttpResponse":
+        text = data.decode("utf-8", "replace")
+        start, headers, body = _decode_head(text)
+        parts = start.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ValueError(f"not an HTTP response: {start!r}")
+        return cls(
+            status=int(parts[1]),
+            reason=parts[2] if len(parts) > 2 else "",
+            headers=headers,
+            body=body.encode("utf-8"),
+            version=parts[0],
+        )
+
+    @property
+    def server_banner(self) -> Optional[str]:
+        """The Server header — what Nessus banner-grabbing collects (§5.2)."""
+        return self.headers.get("Server")

@@ -1,0 +1,90 @@
+"""NetBIOS Name Service codec (RFC 1002).
+
+Ten apps in the dataset scan the LAN with NetBIOS (§6.2).  The Table 5
+payload is a node-status (NBSTAT) query for the wildcard name ``*``,
+whose first-level encoding is the famous ``CKAAAAAAA...`` string: each
+half-octet of the padded 16-byte name is mapped to 'A' + nibble.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+NETBIOS_NS_PORT = 137
+TYPE_NB = 0x0020
+TYPE_NBSTAT = 0x0021
+
+
+def encode_netbios_name(name: str, pad: str = " ") -> str:
+    """First-level encode a NetBIOS name (RFC 1001 §14.1).
+
+    The wildcard name ``*`` is padded with NULs, ordinary names with
+    spaces; ``*`` therefore encodes to ``CKAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA``.
+    """
+    if name == "*":
+        raw = b"*" + b"\x00" * 15
+    else:
+        raw = name.upper().ljust(16, pad).encode("ascii")[:16]
+    encoded = []
+    for byte in raw:
+        encoded.append(chr(ord("A") + (byte >> 4)))
+        encoded.append(chr(ord("A") + (byte & 0x0F)))
+    return "".join(encoded)
+
+
+def decode_netbios_name(encoded: str) -> str:
+    """Reverse the first-level encoding back to the 16-byte name."""
+    if len(encoded) != 32:
+        raise ValueError(f"NetBIOS encoded name must be 32 chars, got {len(encoded)}")
+    raw = bytearray()
+    for index in range(0, 32, 2):
+        high = ord(encoded[index]) - ord("A")
+        low = ord(encoded[index + 1]) - ord("A")
+        if not (0 <= high <= 15 and 0 <= low <= 15):
+            raise ValueError(f"invalid NetBIOS encoding at {index}")
+        raw.append((high << 4) | low)
+    return raw.rstrip(b"\x00").rstrip(b" ").decode("ascii", "replace")
+
+
+_HEADER = struct.Struct("!HHHHHH")
+
+
+@dataclass
+class NetbiosNsQuery:
+    """A NetBIOS name-service query (NB or NBSTAT)."""
+
+    name: str = "*"
+    qtype: int = TYPE_NBSTAT
+    transaction_id: int = 0x0001
+
+    def encode(self) -> bytes:
+        header = _HEADER.pack(self.transaction_id, 0x0000, 1, 0, 0, 0)
+        encoded = encode_netbios_name(self.name).encode("ascii")
+        question = bytes([len(encoded)]) + encoded + b"\x00" + struct.pack("!HH", self.qtype, 1)
+        return header + question
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NetbiosNsQuery":
+        if len(data) < _HEADER.size + 38:
+            raise ValueError(f"truncated NetBIOS NS query: {len(data)} bytes")
+        txid, flags, qdcount, _an, _ns, _ar = _HEADER.unpack_from(data)
+        if qdcount < 1:
+            raise ValueError("NetBIOS NS message has no question")
+        offset = _HEADER.size
+        label_length = data[offset]
+        if label_length != 32:
+            raise ValueError(f"unexpected NetBIOS label length: {label_length}")
+        encoded = data[offset + 1 : offset + 33].decode("ascii", "replace")
+        offset += 34  # label + terminating zero
+        qtype, _qclass = struct.unpack_from("!HH", data, offset)
+        return cls(
+            name=decode_netbios_name(encoded),
+            qtype=qtype,
+            transaction_id=txid,
+        )
+
+    @property
+    def is_wildcard_status_query(self) -> bool:
+        """True for the share-enumeration probe innosdk-style scanners send."""
+        return self.name == "*" and self.qtype == TYPE_NBSTAT

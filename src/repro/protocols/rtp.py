@@ -1,0 +1,74 @@
+"""RTP codec (RFC 3550).
+
+RTP is used by 10% of devices for "real-time data exchanges and device
+synchronization" — Amazon Echo's multi-room music runs RTP over
+UDP:55444 (§4.1).  Appendix C.2 notes RTP is often misclassified because
+it has no standard port and a binary payload; our nDPI-like classifier
+reproduces that by using behavioural detection on the version bits.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+ECHO_MULTIROOM_PORT = 55444
+
+
+@dataclass
+class RtpPacket:
+    """An RTP packet (version 2, no CSRC, no extensions)."""
+
+    payload_type: int
+    sequence: int
+    timestamp: int
+    ssrc: int
+    payload: bytes = b""
+    marker: bool = False
+
+    def encode(self) -> bytes:
+        first = 0x80  # version 2, no padding, no extension, no CSRC
+        second = (0x80 if self.marker else 0) | (self.payload_type & 0x7F)
+        return (
+            struct.pack(
+                "!BBHII",
+                first,
+                second,
+                self.sequence & 0xFFFF,
+                self.timestamp & 0xFFFFFFFF,
+                self.ssrc & 0xFFFFFFFF,
+            )
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RtpPacket":
+        if len(data) < 12:
+            raise ValueError(f"truncated RTP packet: {len(data)} bytes")
+        first, second, sequence, timestamp, ssrc = struct.unpack_from("!BBHII", data)
+        version = first >> 6
+        if version != 2:
+            raise ValueError(f"not RTPv2 (version={version})")
+        csrc_count = first & 0x0F
+        offset = 12 + csrc_count * 4
+        return cls(
+            payload_type=second & 0x7F,
+            sequence=sequence,
+            timestamp=timestamp,
+            ssrc=ssrc,
+            payload=data[offset:],
+            marker=bool(second & 0x80),
+        )
+
+
+def looks_like_rtp(payload: bytes) -> bool:
+    """Heuristic RTP detection (the behavioural check nDPI-style tools use)."""
+    if len(payload) < 12:
+        return False
+    version_ok = payload[0] >> 6 == 2
+    no_padding = not payload[0] & 0x20
+    few_csrc = (payload[0] & 0x0F) <= 2
+    # Static types 0-34 plus the dynamic range 96-111 (RFC 3551).
+    payload_type = payload[1] & 0x7F
+    pt_ok = payload_type <= 34 or 96 <= payload_type <= 111
+    return version_ok and no_padding and few_csrc and pt_ok

@@ -1,0 +1,103 @@
+"""RTSP codec (RFC 2326) with a minimal SDP body.
+
+Cameras in the testbed expose RTSP on 554/8554 (§4.2's open-service
+census and Figure 2's HTTP.RTSP bar); streaming interactions run a
+DESCRIBE/SETUP/PLAY exchange followed by RTP media.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+RTSP_PORT = 554
+
+_METHODS = ("OPTIONS", "DESCRIBE", "SETUP", "PLAY", "PAUSE", "TEARDOWN")
+
+
+def _encode_headers(headers: Dict[str, str]) -> str:
+    return "".join(f"{key}: {value}\r\n" for key, value in headers.items())
+
+
+def _decode_head(text: str):
+    head, _, body = text.partition("\r\n\r\n")
+    lines = head.split("\r\n")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        key, sep, value = line.partition(":")
+        if sep:
+            headers[key.strip().title()] = value.strip()
+    return lines[0], headers, body
+
+
+@dataclass
+class RtspRequest:
+    """An RTSP request (DESCRIBE rtsp://... RTSP/1.0)."""
+
+    method: str
+    url: str
+    cseq: int = 1
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        headers = {"CSeq": str(self.cseq), **self.headers}
+        start = f"{self.method} {self.url} RTSP/1.0\r\n"
+        return (start + _encode_headers(headers) + "\r\n").encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RtspRequest":
+        start, headers, _body = _decode_head(data.decode("utf-8", "replace"))
+        parts = start.split(" ", 2)
+        if len(parts) != 3 or parts[2] != "RTSP/1.0" or parts[0] not in _METHODS:
+            raise ValueError(f"not an RTSP request: {start!r}")
+        cseq = int(headers.pop("Cseq", "1"))
+        return cls(method=parts[0], url=parts[1], cseq=cseq, headers=headers)
+
+
+@dataclass
+class RtspResponse:
+    """An RTSP response, optionally carrying an SDP description."""
+
+    status: int = 200
+    reason: str = "OK"
+    cseq: int = 1
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def encode(self) -> bytes:
+        headers = {"CSeq": str(self.cseq), **self.headers}
+        if self.body:
+            headers.setdefault("Content-Type", "application/sdp")
+            headers["Content-Length"] = str(len(self.body))
+        start = f"RTSP/1.0 {self.status} {self.reason}\r\n"
+        return (start + _encode_headers(headers) + "\r\n").encode("utf-8") + self.body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RtspResponse":
+        start, headers, body = _decode_head(data.decode("utf-8", "replace"))
+        parts = start.split(" ", 2)
+        if len(parts) < 2 or parts[0] != "RTSP/1.0":
+            raise ValueError(f"not an RTSP response: {start!r}")
+        cseq = int(headers.pop("Cseq", "1"))
+        return cls(status=int(parts[1]), reason=parts[2] if len(parts) > 2 else "",
+                   cseq=cseq, headers=headers, body=body.encode("utf-8"))
+
+    @classmethod
+    def describe_reply(cls, cseq: int, camera_name: str, address: str) -> "RtspResponse":
+        """A DESCRIBE reply whose SDP names the camera (one more leak)."""
+        sdp = (
+            "v=0\r\n"
+            f"o=- 0 0 IN IP4 {address}\r\n"
+            f"s={camera_name}\r\n"
+            f"c=IN IP4 {address}\r\n"
+            "m=video 0 RTP/AVP 96\r\n"
+            "a=rtpmap:96 H264/90000\r\n"
+        )
+        return cls(cseq=cseq, body=sdp.encode("utf-8"))
+
+    @property
+    def sdp_session_name(self) -> Optional[str]:
+        for line in self.body.decode("utf-8", "replace").splitlines():
+            if line.startswith("s="):
+                return line[2:]
+        return None

@@ -1,0 +1,60 @@
+"""STUN codec (RFC 5389 header).
+
+STUN appears in the passive captures (Fig. 2); Appendix C.2 documents
+that Google devices' UDP traffic on ports 10000-10010 was *mis*labeled
+as STUN by both nDPI and tshark when it is likely RTP — our classifier
+cross-validation reproduces that confusion via the magic-cookie check.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+MAGIC_COOKIE = 0x2112A442
+
+BINDING_REQUEST = 0x0001
+BINDING_RESPONSE = 0x0101
+
+
+@dataclass
+class StunMessage:
+    """A STUN message header (+ opaque attribute bytes)."""
+
+    message_type: int = BINDING_REQUEST
+    transaction_id: bytes = b"\x00" * 12
+    attributes: bytes = b""
+
+    def encode(self) -> bytes:
+        if len(self.transaction_id) != 12:
+            raise ValueError("STUN transaction id must be 12 bytes")
+        return (
+            struct.pack("!HHI", self.message_type, len(self.attributes), MAGIC_COOKIE)
+            + self.transaction_id
+            + self.attributes
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "StunMessage":
+        if len(data) < 20:
+            raise ValueError(f"truncated STUN message: {len(data)} bytes")
+        message_type, length, cookie = struct.unpack_from("!HHI", data)
+        if cookie != MAGIC_COOKIE:
+            raise ValueError(f"bad STUN magic cookie: {cookie:#x}")
+        if message_type & 0xC000:
+            raise ValueError("top bits of STUN message type must be zero")
+        return cls(
+            message_type=message_type,
+            transaction_id=data[8:20],
+            attributes=data[20 : 20 + length],
+        )
+
+
+def looks_like_stun(payload: bytes) -> bool:
+    """Magic-cookie based detection."""
+    if len(payload) < 20:
+        return False
+    return (
+        struct.unpack_from("!I", payload, 4)[0] == MAGIC_COOKIE
+        and payload[0] & 0xC0 == 0
+    )

@@ -1,0 +1,113 @@
+"""UPnP SOAP control (the HTTP.SOAP bar of Figure 2).
+
+§5.2: "we detect 17 devices related to SSDP/UPnP services, which offer
+control such as multi-screen casting, and could reveal user activities
+within the home."  Control runs as SOAP-over-HTTP POSTs to the control
+URL from the device description; the classic casting action is
+AVTransport's ``SetAVTransportURI`` — whose body carries the media URL,
+i.e. *what the household is watching*.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.protocols.http import HttpRequest, HttpResponse
+
+AVTRANSPORT = "urn:schemas-upnp-org:service:AVTransport:1"
+_ENVELOPE = (
+    '<?xml version="1.0"?>\n'
+    '<s:Envelope xmlns:s="http://schemas.xmlsoap.org/soap/envelope/" '
+    's:encodingStyle="http://schemas.xmlsoap.org/soap/encoding/">\n'
+    " <s:Body>\n{body}\n </s:Body>\n"
+    "</s:Envelope>\n"
+)
+_ACTION_RE = re.compile(r"<u:(\w+)\s+xmlns:u=\"([^\"]+)\"")
+_ARG_RE = re.compile(r"<(\w+)>([^<]*)</\1>")
+
+
+@dataclass
+class SoapAction:
+    """One UPnP action invocation (or its response)."""
+
+    service: str
+    action: str
+    arguments: Dict[str, str] = field(default_factory=dict)
+    is_response: bool = False
+
+    def body_xml(self) -> str:
+        tag = f"{self.action}Response" if self.is_response else self.action
+        args = "".join(
+            f"\n   <{name}>{value}</{name}>" for name, value in self.arguments.items()
+        )
+        return f'  <u:{tag} xmlns:u="{self.service}">{args}\n  </u:{tag}>'
+
+    def to_http_request(self, control_path: str = "/AVTransport/control") -> HttpRequest:
+        body = _ENVELOPE.format(body=self.body_xml()).encode("utf-8")
+        return HttpRequest(
+            "POST",
+            control_path,
+            {
+                "Content-Type": 'text/xml; charset="utf-8"',
+                "SOAPACTION": f'"{self.service}#{self.action}"',
+            },
+            body,
+        )
+
+    def to_http_response(self) -> HttpResponse:
+        response = SoapAction(self.service, self.action, dict(self.arguments), is_response=True)
+        body = _ENVELOPE.format(body=response.body_xml()).encode("utf-8")
+        return HttpResponse(200, "OK", {"Content-Type": 'text/xml; charset="utf-8"',
+                                        "Server": "UPnP/1.0"}, body)
+
+    @classmethod
+    def from_http(cls, message) -> "SoapAction":
+        """Parse an action out of an HttpRequest or HttpResponse."""
+        text = message.body.decode("utf-8", "replace")
+        match = _ACTION_RE.search(text)
+        if match is None:
+            raise ValueError("no SOAP action element in body")
+        action, service = match.group(1), match.group(2)
+        is_response = action.endswith("Response")
+        if is_response:
+            action = action[: -len("Response")]
+        arguments = {
+            name: value
+            for name, value in _ARG_RE.findall(text)
+            if name not in ("Envelope", "Body")
+        }
+        return cls(service=service, action=action, arguments=arguments,
+                   is_response=is_response)
+
+
+def set_av_transport_uri(media_url: str, instance_id: int = 0) -> SoapAction:
+    """The casting action: tells a renderer what to play (§5.2's
+    user-activity leak — the URL is the content being watched)."""
+    return SoapAction(
+        AVTRANSPORT,
+        "SetAVTransportURI",
+        {
+            "InstanceID": str(instance_id),
+            "CurrentURI": media_url,
+            "CurrentURIMetaData": "",
+        },
+    )
+
+
+def play(instance_id: int = 0) -> SoapAction:
+    return SoapAction(AVTRANSPORT, "Play", {"InstanceID": str(instance_id), "Speed": "1"})
+
+
+def extract_media_url(request: HttpRequest) -> Optional[str]:
+    """What an on-path observer learns from a casting SOAP request."""
+    if not request.is_soap:
+        return None
+    try:
+        action = SoapAction.from_http(request)
+    except ValueError:
+        return None
+    if action.action == "SetAVTransportURI":
+        return action.arguments.get("CurrentURI")
+    return None

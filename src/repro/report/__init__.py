@@ -1,0 +1,33 @@
+"""Rendering helpers: turn analysis objects into the paper's tables."""
+
+from repro.report.figures import (
+    render_bars,
+    render_figure2_bars,
+    render_figure3_heatmap,
+    render_heatmap,
+)
+from repro.report.tables import (
+    render_table,
+    render_figure2,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_figure3,
+    render_comparison,
+)
+
+__all__ = [
+    "render_bars",
+    "render_figure2_bars",
+    "render_figure3_heatmap",
+    "render_heatmap",
+    "render_table",
+    "render_figure2",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_figure3",
+    "render_comparison",
+]

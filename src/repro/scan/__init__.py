@@ -1,0 +1,26 @@
+"""Active scanning: port scans, service inference, vulnerability scans.
+
+Reproduces §3.1/§4.2: nmap TCP SYN scans (1-65535), UDP scans of
+well-known ports (1-1024), IP-protocol scans, nmap-style service-name
+inference (with its documented mistakes on non-standard ports, §3.5),
+manual label correction, and a Nessus-like vulnerability scanner backed
+by a curated finding database.
+"""
+
+from repro.scan.portscan import PortScanner, ScanReport, HostScanResult, default_tcp_ports
+from repro.scan.nmap_services import nmap_service_name, correct_service_label
+from repro.scan.vulnscan import VulnerabilityScanner, Finding
+from repro.scan.cve_db import CVE_DATABASE, CveEntry
+
+__all__ = [
+    "PortScanner",
+    "ScanReport",
+    "HostScanResult",
+    "default_tcp_ports",
+    "nmap_service_name",
+    "correct_service_label",
+    "VulnerabilityScanner",
+    "Finding",
+    "CVE_DATABASE",
+    "CveEntry",
+]

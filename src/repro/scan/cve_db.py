@@ -1,0 +1,174 @@
+"""The curated vulnerability database backing the Nessus analogue.
+
+Contains every finding the paper names (§5.2 and the per-device
+discussion), keyed the way the scanner reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CveEntry:
+    """One database entry (CVE or Nessus plugin-style finding)."""
+
+    identifier: str
+    title: str
+    severity: str  # low / medium / high / critical
+    cvss: float
+    description: str
+    affected_software: Tuple[Tuple[str, str], ...] = ()  # (software, max_version)
+
+
+CVE_DATABASE: Dict[str, CveEntry] = {
+    entry.identifier: entry
+    for entry in [
+        CveEntry(
+            "CVE-2016-2183",
+            "SWEET32: birthday attacks on 64-bit block ciphers",
+            "high",
+            7.5,
+            "TLS services using short encryption keys (64-122 bits) allow "
+            "birthday attacks to recover cleartext in long sessions; found on "
+            "port 8009 of Google cast devices (§5.2).",
+            (("cast-tls", "1.56"),),
+        ),
+        CveEntry(
+            "CVE-2020-11022",
+            "jQuery < 3.5.0 XSS via htmlPrefilter",
+            "medium",
+            6.1,
+            "Passing HTML from untrusted sources to jQuery DOM methods can "
+            "execute untrusted code; the Microseven camera serves jQuery 1.2.",
+            (("jQuery", "3.4.999"),),
+        ),
+        CveEntry(
+            "CVE-2020-11023",
+            "jQuery < 3.5.0 XSS via option elements",
+            "medium",
+            6.1,
+            "HTML containing <option> elements from untrusted sources can "
+            "execute untrusted code even after sanitization.",
+            (("jQuery", "3.4.999"),),
+        ),
+        CveEntry(
+            "CVE-2019-11766",
+            "DHCP client version disclosure / outdated client",
+            "medium",
+            5.3,
+            "Old or custom DHCP clients expose version strings and may carry "
+            "unpatched parsing vulnerabilities (§5.1).",
+            (("udhcp", "1.24.999"),),
+        ),
+        CveEntry(
+            "NESSUS-11535",
+            "SheerDNS < 1.0.1 Multiple Vulnerabilities",
+            "high",
+            8.1,
+            "The DNS server identified as SheerDNS 1.0.0 has known security "
+            "flaws including directory traversal (Apple HomePod Mini, §5.2).",
+            (("SheerDNS", "1.0.0"),),
+        ),
+        CveEntry(
+            "NESSUS-12217",
+            "DNS Server Cache Snooping Remote Information Disclosure",
+            "medium",
+            5.0,
+            "A DNS server answering cached-only queries lets local actors "
+            "discover recently-resolved domains, exposing visited hosts "
+            "(HomePod Mini and WeMo plug, §5.2).",
+        ),
+        CveEntry(
+            "HTTP-BACKUP-EXPOSURE",
+            "Web server exposes backup/configuration files",
+            "high",
+            7.5,
+            "The Lefun camera's HTTP server allows accessing backup files "
+            "containing server configuration details (§5.2).",
+            (("GoAhead-Webs", "2.5"),),
+        ),
+        CveEntry(
+            "ONVIF-UNAUTH-SNAPSHOT",
+            "Unauthenticated ONVIF snapshot and account enumeration",
+            "critical",
+            9.1,
+            "The Microseven camera allows unauthenticated users to retrieve "
+            "snapshots via ONVIF requests, list all user accounts, and locate "
+            "the recording directory (§5.2).",
+        ),
+        CveEntry(
+            "TELNET-OPEN",
+            "Telnet service enabled on the local network",
+            "high",
+            8.8,
+            "Telnet exposes a plaintext (often default-credential) shell to "
+            "any actor on the LAN.",
+        ),
+        CveEntry(
+            "UPNP-1.0-DEPRECATED",
+            "Deprecated UPnP 1.0 stack",
+            "medium",
+            5.4,
+            "Fifteen years after UPnP 1.1, devices still running UPnP 1.0 are "
+            "exploitable via known SSDP/SOAP issues (§5.1: 9 devices).",
+        ),
+        CveEntry(
+            "SSDP-IGD-EXPOSURE",
+            "IGD (Internet Gateway Device) SSDP requests",
+            "medium",
+            5.3,
+            "IGD discovery/port-forwarding requests can be abused by malware "
+            "to open the home network (Roku TV, §5.1).",
+        ),
+        CveEntry(
+            "TPLINK-SHP-NOAUTH",
+            "TPLINK-SHP unauthenticated control and geolocation disclosure",
+            "high",
+            8.3,
+            "TPLINK-SHP answers sysinfo queries with plaintext latitude/"
+            "longitude and accepts unauthenticated control commands (§5.1).",
+        ),
+        CveEntry(
+            "TLS-LONG-LIVED-SELF-SIGNED",
+            "Self-signed certificate with multi-decade validity",
+            "low",
+            3.7,
+            "Certificates valid for 20-28 years cannot be meaningfully "
+            "rotated or revoked (D-Link, SmartThings, Philips Hue, §5.2).",
+        ),
+        CveEntry(
+            "DNS-PRIVATE-DISCLOSURE",
+            "DNS service reveals internal hostname and private IP",
+            "low",
+            3.1,
+            "Querying the device hostname reveals the testbed's remote host "
+            "name and the private IP of the DNS server (§5.2).",
+        ),
+    ]
+}
+
+
+def lookup(identifier: str) -> Optional[CveEntry]:
+    """Fetch a database entry by CVE id / plugin name."""
+    return CVE_DATABASE.get(identifier)
+
+
+def entries_for_software(software: str, version: str) -> List[CveEntry]:
+    """All entries affecting a software/version pair (banner matching)."""
+
+    def version_tuple(text: str) -> Tuple[int, ...]:
+        parts = []
+        for token in text.split("."):
+            digits = "".join(ch for ch in token if ch.isdigit())
+            parts.append(int(digits) if digits else 0)
+        return tuple(parts)
+
+    matches = []
+    for entry in CVE_DATABASE.values():
+        for affected_software, max_version in entry.affected_software:
+            if affected_software.lower() == software.lower():
+                if version_tuple(version) <= version_tuple(max_version):
+                    matches.append(entry)
+    return matches

@@ -1,0 +1,104 @@
+"""nmap-style service-name inference and its manual correction.
+
+nmap "primarily relies on port numbers and packet responses to infer
+the protocol behind an open service.  We find these inferences to be
+incorrect in many cases" (§3.5).  This table reproduces the guesses a
+stock nmap-services file makes for the ports our devices open — which
+is precisely where Figure 2's odd long tail comes from: Tuya's UDP
+6666/6667 shows up as IRC, port 4070 as "ezmeeting-2" (EZMEETING-2),
+9090 as "cslistener" (CSLISTENER), 10001 as "scp-config", etc.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: (transport, port) -> the name nmap's services file would print.
+NMAP_SERVICES = {
+    ("tcp", 23): "telnet",
+    ("tcp", 53): "domain",
+    ("tcp", 80): "http",
+    ("tcp", 443): "https",
+    ("tcp", 554): "rtsp",
+    ("tcp", 1080): "socks5",
+    ("tcp", 1900): "upnp",
+    ("tcp", 3000): "ppp",
+    ("tcp", 3001): "nessus",
+    ("tcp", 4070): "ezmeeting-2",  # Amazon's device-control port (§4.2)
+    ("tcp", 5577): "unknown",
+    ("tcp", 6668): "irc",  # Tuya local control lands in the IRC block
+    ("tcp", 7000): "afs3-fileserver",
+    ("tcp", 8000): "http-alt",
+    ("tcp", 8001): "vcom-tunnel",
+    ("tcp", 8002): "teradataordbms",
+    ("tcp", 8008): "http",
+    ("tcp", 8009): "ajp13",  # Chromecast TLS guessed as Apache JServ (AJP)
+    ("tcp", 8060): "aero",
+    ("tcp", 8080): "http-proxy",
+    ("tcp", 8443): "https-alt",
+    ("tcp", 8554): "rtsp-alt",
+    ("tcp", 8888): "sun-answerbook",
+    ("tcp", 9080): "glrpc",
+    ("tcp", 9090): "cslistener",
+    ("tcp", 9197): "unknown",
+    ("tcp", 9543): "unknown",
+    ("tcp", 9955): "unknown",
+    ("tcp", 9999): "abyss",  # TPLINK-SHP guessed as the Abyss web server
+    ("tcp", 10001): "scp-config",
+    ("tcp", 34567): "dhanalakshmi",
+    ("tcp", 39500): "unknown",
+    ("tcp", 49152): "unknown",
+    ("tcp", 49153): "unknown",
+    ("tcp", 55442): "unknown",
+    ("tcp", 55443): "unknown",
+    ("tcp", 6113): "dayliteserver",
+    ("udp", 53): "domain",
+    ("udp", 67): "dhcps",
+    ("udp", 68): "dhcpc",
+    ("udp", 123): "ntp",
+    ("udp", 137): "netbios-ns",
+    ("udp", 319): "ptp-event",
+    ("udp", 320): "ptp-general",
+    ("udp", 1900): "upnp",
+    ("udp", 5353): "zeroconf",
+    ("udp", 5683): "coap",
+    ("udp", 5684): "coaps",
+    ("udp", 6666): "irc",  # TuyaLP's plaintext port sits in IRC space
+    ("udp", 6667): "irc",
+    ("udp", 9999): "distinct",
+    ("udp", 10000): "ndmp",
+    ("udp", 11095): "weave",
+    ("udp", 37810): "unknown",
+    ("udp", 38899): "unknown",
+    ("udp", 56700): "unknown",
+}
+
+#: Corrections produced by the manual validation of §3.5:
+#: nmap guess -> (true service, reason).
+MANUAL_CORRECTIONS = {
+    ("udp", 6666): ("tuyalp", "TuyaLP discovery broadcast port, not IRC"),
+    ("udp", 6667): ("tuyalp", "TuyaLP (encrypted) discovery port, not IRC"),
+    ("tcp", 6668): ("tuya-ctl", "Tuya local control channel, not IRC"),
+    ("tcp", 9999): ("tplink-shp", "TPLINK-SHP control, not the Abyss web server"),
+    ("udp", 9999): ("tplink-shp", "TPLINK-SHP discovery"),
+    ("tcp", 8009): ("cast-tls", "Chromecast TLS, not Apache JServ"),
+    ("tcp", 4070): ("echo-https", "Amazon Echo device control over HTTPS"),
+    ("tcp", 55442): ("echo-http", "Amazon Echo audio cache (HTTP)"),
+    ("tcp", 55443): ("echo-http", "Amazon Echo audio cache (HTTP)"),
+    ("tcp", 7000): ("airplay", "AirPlay/AirTunes, not AFS"),
+    ("tcp", 10001): ("cast-unknown", "Chromecast-internal service, not scp-config"),
+    ("udp", 10000): ("wyze-p2p", "TUTK P2P keepalive, not NDMP"),
+}
+
+
+def nmap_service_name(transport: str, port: int) -> str:
+    """The service name nmap would report for an open port."""
+    return NMAP_SERVICES.get((transport, port), "unknown")
+
+
+def correct_service_label(transport: str, port: int, nmap_name: str) -> Tuple[str, Optional[str]]:
+    """Apply the §3.5 manual corrections; returns (label, reason|None)."""
+    correction = MANUAL_CORRECTIONS.get((transport, port))
+    if correction is not None:
+        return correction
+    return nmap_name, None

@@ -1,0 +1,171 @@
+"""The Nessus analogue: banner collection + finding generation.
+
+"Nessus collects service banners to identify the web server and the
+exact version deployed" (§5.2).  The scanner grabs banners from each
+device's services, matches them against the CVE database, runs the
+generic checks the paper describes (telnet exposure, deprecated UPnP,
+weak TLS keys, multi-decade self-signed certificates, DNS cache
+snooping), and emits the device-declared findings (ground truth planted
+by the profile, as a real vulnerable firmware would present).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.devices.behaviors import DeviceNode
+from repro.scan.cve_db import CVE_DATABASE, CveEntry, entries_for_software, lookup
+
+
+@dataclass
+class Finding:
+    """One vulnerability finding on one device."""
+
+    device: str
+    identifier: str
+    title: str
+    severity: str
+    port: int
+    transport: str
+    evidence: str = ""
+
+    @property
+    def cve_entry(self) -> Optional[CveEntry]:
+        return lookup(self.identifier)
+
+
+_SEVERITY_ORDER = {"critical": 0, "high": 1, "medium": 2, "low": 3}
+
+
+@dataclass
+class VulnerabilityScanner:
+    """Scan DeviceNodes for known vulnerabilities and misconfigurations."""
+
+    include_low: bool = True
+
+    def scan_device(self, node: DeviceNode) -> List[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._declared_findings(node))
+        findings.extend(self._banner_findings(node))
+        findings.extend(self._generic_checks(node))
+        # De-duplicate (declared + banner-derived can overlap).
+        unique = {}
+        for finding in findings:
+            key = (finding.identifier, finding.port, finding.transport)
+            unique.setdefault(key, finding)
+        result = list(unique.values())
+        if not self.include_low:
+            result = [finding for finding in result if finding.severity != "low"]
+        result.sort(key=lambda finding: (_SEVERITY_ORDER.get(finding.severity, 9), finding.identifier))
+        return result
+
+    def scan(self, nodes: List[DeviceNode]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in nodes:
+            findings.extend(self.scan_device(node))
+        return findings
+
+    # -- passes --------------------------------------------------------------------
+
+    @staticmethod
+    def _declared_findings(node: DeviceNode) -> List[Finding]:
+        """Findings the firmware itself exhibits (profile ground truth)."""
+        return [
+            Finding(
+                device=node.name,
+                identifier=vulnerability.cve,
+                title=(lookup(vulnerability.cve).title if lookup(vulnerability.cve) else vulnerability.summary),
+                severity=vulnerability.severity,
+                port=vulnerability.service_port,
+                transport=vulnerability.service_transport,
+                evidence=vulnerability.summary,
+            )
+            for vulnerability in node.profile.vulnerabilities
+        ]
+
+    @staticmethod
+    def _banner_findings(node: DeviceNode) -> List[Finding]:
+        """Match service banners/versions against the CVE database."""
+        findings = []
+        for service in node.services:
+            if not service.software:
+                continue
+            for entry in entries_for_software(service.software, service.version):
+                findings.append(
+                    Finding(
+                        device=node.name,
+                        identifier=entry.identifier,
+                        title=entry.title,
+                        severity=entry.severity,
+                        port=service.port,
+                        transport=service.transport,
+                        evidence=f"banner: {service.software}/{service.version}",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _generic_checks(node: DeviceNode) -> List[Finding]:
+        findings = []
+        profile = node.profile
+        for service in node.services:
+            if service.protocol == "telnet":
+                findings.append(
+                    Finding(node.name, "TELNET-OPEN", CVE_DATABASE["TELNET-OPEN"].title,
+                            "high", service.port, service.transport,
+                            evidence=f"telnet banner: {service.banner!r}")
+                )
+            if service.protocol == "dns":
+                findings.append(
+                    Finding(node.name, "NESSUS-12217", CVE_DATABASE["NESSUS-12217"].title,
+                            "medium", service.port, service.transport,
+                            evidence="cache-snooping probe answered")
+                )
+                findings.append(
+                    Finding(node.name, "DNS-PRIVATE-DISCLOSURE",
+                            CVE_DATABASE["DNS-PRIVATE-DISCLOSURE"].title,
+                            "low", service.port, service.transport,
+                            evidence=f"hostname query revealed {node.ip}")
+                )
+        tls = profile.tls
+        if tls is not None:
+            if tls.key_bits < 128:
+                findings.append(
+                    Finding(node.name, "CVE-2016-2183", CVE_DATABASE["CVE-2016-2183"].title,
+                            "high", tls.port, "tcp",
+                            evidence=f"TLS key size {tls.key_bits} bits")
+                )
+            if tls.self_signed and tls.cert_validity_days > 10 * 365:
+                findings.append(
+                    Finding(node.name, "TLS-LONG-LIVED-SELF-SIGNED",
+                            CVE_DATABASE["TLS-LONG-LIVED-SELF-SIGNED"].title,
+                            "low", tls.port, "tcp",
+                            evidence=f"validity {tls.cert_validity_days / 365.25:.0f} years")
+                )
+        if profile.ssdp is not None and profile.ssdp.upnp_version == "UPnP/1.0":
+            findings.append(
+                Finding(node.name, "UPNP-1.0-DEPRECATED",
+                        CVE_DATABASE["UPNP-1.0-DEPRECATED"].title,
+                        "medium", 1900, "udp",
+                        evidence=f"SERVER: {profile.ssdp.server_header}")
+            )
+        if profile.ssdp is not None and profile.ssdp.search_igd:
+            findings.append(
+                Finding(node.name, "SSDP-IGD-EXPOSURE",
+                        CVE_DATABASE["SSDP-IGD-EXPOSURE"].title,
+                        "medium", 1900, "udp", evidence="M-SEARCH for IGD observed")
+            )
+        if profile.tplink_role == "server":
+            findings.append(
+                Finding(node.name, "TPLINK-SHP-NOAUTH",
+                        CVE_DATABASE["TPLINK-SHP-NOAUTH"].title,
+                        "high", 9999, "tcp", evidence="sysinfo reply with lat/lon")
+            )
+        vendor_class = profile.dhcp.vendor_class
+        if vendor_class.startswith("udhcp") or "DHCP" in vendor_class:
+            findings.append(
+                Finding(node.name, "CVE-2019-11766", CVE_DATABASE["CVE-2019-11766"].title,
+                        "medium", 68, "udp", evidence=f"DHCP client: {vendor_class}")
+            )
+        return findings

@@ -1,0 +1,23 @@
+"""Deterministic discrete-event LAN simulator.
+
+This is the stand-in for the MonIoTr "living lab" (§3.1): a Wi-Fi
+AP/switch that delivers unicast, multicast, and broadcast frames among
+nodes, captures everything it sees (tcpdump-style) into per-MAC pcap
+streams, and drives per-device behaviour profiles on a virtual clock.
+"""
+
+from repro.simnet.simulator import Simulator
+from repro.simnet.lan import Lan
+from repro.simnet.node import Node, UdpHandler
+from repro.simnet.capture import ApCapture
+from repro.simnet.services import ServiceInfo, ServiceTable
+
+__all__ = [
+    "Simulator",
+    "Lan",
+    "Node",
+    "UdpHandler",
+    "ApCapture",
+    "ServiceInfo",
+    "ServiceTable",
+]

@@ -1,0 +1,193 @@
+"""The simulated home LAN: an AP/switch delivering frames among nodes.
+
+Delivery semantics mirror a Wi-Fi network in infrastructure mode as
+seen from the AP (where the paper runs tcpdump, §3.1): the capture
+observes *every* frame; broadcast reaches all nodes, IPv4/IPv6
+multicast reaches group members (non-members' NICs filter it), unicast
+reaches the owner of the destination MAC.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, List, Optional
+
+from repro.net.decode import DecodedPacket, decode_frame
+from repro.net.ether import EtherType
+from repro.net.mac import MacAddress
+from repro.net.tcp import TcpFlags, TcpSegment
+from repro.simnet.capture import ApCapture
+from repro.simnet.node import Node
+from repro.simnet.simulator import Simulator
+
+
+class Lan:
+    """A single /24 home network with an AP-side capture."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        subnet: str = "192.168.10.0/24",
+        ap_mac: str = "02:00:00:00:00:01",
+        capture: Optional[ApCapture] = None,
+    ):
+        self.simulator = simulator
+        self.subnet = ipaddress.ip_network(subnet)
+        self.ap_mac = MacAddress(ap_mac)
+        self.capture = capture if capture is not None else ApCapture()
+        self.gateway_ip = str(next(self.subnet.hosts()))
+        self.broadcast_address = str(self.subnet.broadcast_address)
+        self._nodes_by_mac: Dict[MacAddress, Node] = {}
+        self._nodes_by_ip: Dict[str, Node] = {}
+        self._next_host = 10
+        self.frames_delivered = 0
+
+    # -- membership -------------------------------------------------------------
+
+    def attach(self, node: Node, ip: Optional[str] = None) -> Node:
+        """Attach a node; allocates the next free host IP when none given."""
+        if ip is not None:
+            node.ip = str(ipaddress.IPv4Address(ip))
+        elif node.ip in (None, "", "0.0.0.0") or node.ip in self._nodes_by_ip:
+            node.ip = self.allocate_ip()
+        if node.mac in self._nodes_by_mac:
+            raise ValueError(f"duplicate MAC on LAN: {node.mac}")
+        if node.ip in self._nodes_by_ip:
+            raise ValueError(f"duplicate IP on LAN: {node.ip}")
+        node.lan = self
+        self._nodes_by_mac[node.mac] = node
+        self._nodes_by_ip[node.ip] = node
+        return node
+
+    def detach(self, node: Node) -> None:
+        self._nodes_by_mac.pop(node.mac, None)
+        self._nodes_by_ip.pop(node.ip, None)
+        node.lan = None
+
+    def allocate_ip(self) -> str:
+        base = int(self.subnet.network_address)
+        while True:
+            candidate = str(ipaddress.IPv4Address(base + self._next_host))
+            self._next_host += 1
+            if candidate not in self._nodes_by_ip and candidate != self.gateway_ip:
+                return candidate
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes_by_mac.values())
+
+    def node_by_name(self, name: str) -> Optional[Node]:
+        for node in self._nodes_by_mac.values():
+            if node.name == name:
+                return node
+        return None
+
+    def mac_of(self, ip: str) -> Optional[MacAddress]:
+        node = self._nodes_by_ip.get(ip)
+        return node.mac if node else None
+
+    def mac_of_v6(self, ip6: str) -> Optional[MacAddress]:
+        for node in self._nodes_by_mac.values():
+            if node.ipv6_link_local == ip6:
+                return node.mac
+        return None
+
+    def node_by_ip(self, ip: str) -> Optional[Node]:
+        return self._nodes_by_ip.get(ip)
+
+    # -- delivery ----------------------------------------------------------------
+
+    def transmit(self, sender: Node, frame_bytes: bytes) -> DecodedPacket:
+        """Deliver a frame: capture it at the AP, then fan out to receivers."""
+        timestamp = self.simulator.now
+        self.capture.observe(timestamp, frame_bytes)
+        packet = decode_frame(frame_bytes, timestamp)
+        for receiver in self._receivers_of(sender, packet):
+            receiver.receive(packet)
+            self.frames_delivered += 1
+        return packet
+
+    def _receivers_of(self, sender: Node, packet: DecodedPacket) -> List[Node]:
+        dst = packet.frame.dst
+        if dst.is_broadcast:
+            return [node for node in self._nodes_by_mac.values() if node is not sender]
+        if dst.is_multicast:
+            group = packet.dst_ip
+            receivers = []
+            for node in self._nodes_by_mac.values():
+                if node is sender:
+                    continue
+                # Link-local multicast (224.0.0.x / ff02::1 "all nodes",
+                # ICMPv6 ND) is processed by every stack; other groups
+                # only by subscribed members.
+                if group is None or self._is_link_local_group(group) or group in node.multicast_groups:
+                    receivers.append(node)
+            return receivers
+        owner = self._nodes_by_mac.get(dst)
+        if owner is not None and owner is not sender:
+            return [owner]
+        return []
+
+    @staticmethod
+    def _is_link_local_group(group: str) -> bool:
+        if group.startswith("224.0.0."):
+            return True
+        if group.lower().startswith("ff02::1") and not group.lower().startswith("ff02::1:"):
+            return True
+        return group.lower() in ("ff02::fb", "ff02::2")
+
+    # -- composite behaviours ------------------------------------------------------
+
+    def tcp_exchange(
+        self,
+        client: Node,
+        server: Node,
+        dst_port: int,
+        client_payloads: List[bytes],
+        server_payloads: List[bytes],
+        src_port: Optional[int] = None,
+        packet_gap: float = 0.002,
+    ) -> Optional[int]:
+        """Emit a full TCP conversation (handshake, data, FIN) on the wire.
+
+        Returns the client source port, or None when the server port is
+        closed (the exchange then ends with the server's RST).
+        """
+        sport = src_port if src_port is not None else client.ephemeral_port()
+        syn = TcpSegment(sport, dst_port, seq=100, flags=TcpFlags.SYN)
+        client.send_tcp_segment(server.ip, syn)
+        if not server.services.is_open("tcp", dst_port):
+            return None
+
+        sim = self.simulator
+        delay = packet_gap
+        ack = TcpSegment(sport, dst_port, seq=101, ack=1001, flags=TcpFlags.ACK)
+        sim.schedule(delay, lambda: client.send_tcp_segment(server.ip, ack))
+        delay += packet_gap
+        seq_client = 101
+        seq_server = 1001
+        turns = max(len(client_payloads), len(server_payloads))
+        for index in range(turns):
+            if index < len(client_payloads):
+                payload = client_payloads[index]
+                segment = TcpSegment(
+                    sport, dst_port, seq=seq_client, ack=seq_server,
+                    flags=TcpFlags.ACK | TcpFlags.PSH, payload=payload,
+                )
+                sim.schedule(delay, lambda seg=segment: client.send_tcp_segment(server.ip, seg))
+                seq_client += len(payload)
+                delay += packet_gap
+            if index < len(server_payloads):
+                payload = server_payloads[index]
+                segment = TcpSegment(
+                    dst_port, sport, seq=seq_server, ack=seq_client,
+                    flags=TcpFlags.ACK | TcpFlags.PSH, payload=payload,
+                )
+                sim.schedule(delay, lambda seg=segment: server.send_tcp_segment(client.ip, seg))
+                seq_server += len(payload)
+                delay += packet_gap
+        fin = TcpSegment(sport, dst_port, seq=seq_client, ack=seq_server, flags=TcpFlags.FIN | TcpFlags.ACK)
+        sim.schedule(delay, lambda: client.send_tcp_segment(server.ip, fin))
+        fin_reply = TcpSegment(dst_port, sport, seq=seq_server, ack=seq_client + 1, flags=TcpFlags.FIN | TcpFlags.ACK)
+        sim.schedule(delay + packet_gap, lambda: server.send_tcp_segment(client.ip, fin_reply))
+        return sport

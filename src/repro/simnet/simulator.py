@@ -1,0 +1,81 @@
+"""The discrete-event scheduler driving the virtual testbed clock."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Events fire in (time, insertion-order) order, so runs are exactly
+    reproducible for a fixed seed and schedule.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = start_time
+        self._queue = []
+        self._counter = itertools.count()
+        self._cancelled = set()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        """Run ``callback`` after ``delay`` seconds; returns an event id."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> int:
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        event_id = next(self._counter)
+        heapq.heappush(self._queue, (when, event_id, callback))
+        return event_id
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        first_delay: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        """Run ``callback`` every ``interval`` seconds until ``until``."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+
+        def fire():
+            if until is not None and self.now > until:
+                return
+            callback()
+            if until is None or self.now + interval <= until:
+                self.schedule(interval, fire)
+
+        self.schedule(interval if first_delay is None else first_delay, fire)
+
+    def cancel(self, event_id: int) -> None:
+        self._cancelled.add(event_id)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events; returns the number of events executed."""
+        executed = 0
+        while self._queue:
+            when, event_id, callback = self._queue[0]
+            if until is not None and when > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            heapq.heappop(self._queue)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            self.now = when
+            callback()
+            executed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,176 @@
+"""Tests for the Android permission model, SDK models, and app dataset."""
+
+import pytest
+
+from repro.apps.android import (
+    AndroidApi,
+    AndroidPermission,
+    AndroidVersion,
+    PermissionDenied,
+    PermissionModel,
+)
+from repro.apps.appmodel import AppCategory, Identifier, ScanProtocol
+from repro.apps.dataset import (
+    DATASET_SIZE,
+    IOT_APP_COUNT,
+    REGULAR_APP_COUNT,
+    generate_app_dataset,
+    named_case_study_apps,
+)
+from repro.apps.sdks import SDK_REGISTRY, sdk_by_name
+
+
+class TestPermissionModel:
+    def test_ssid_requires_location_on_pie(self):
+        model = PermissionModel(AndroidVersion.PIE)
+        granted = {AndroidPermission.INTERNET, AndroidPermission.ACCESS_WIFI_STATE}
+        with pytest.raises(PermissionDenied):
+            model.enforce(AndroidApi.WIFI_INFO_GET_SSID, granted)
+        granted.add(AndroidPermission.ACCESS_COARSE_LOCATION)
+        model.enforce(AndroidApi.WIFI_INFO_GET_SSID, granted)  # no raise
+
+    def test_ssid_requires_nearby_on_tiramisu(self):
+        model = PermissionModel(AndroidVersion.TIRAMISU)
+        granted = {AndroidPermission.ACCESS_WIFI_STATE, AndroidPermission.ACCESS_FINE_LOCATION}
+        # Location no longer suffices on Android 13.
+        with pytest.raises(PermissionDenied):
+            model.enforce(AndroidApi.WIFI_INFO_GET_SSID, granted)
+        granted.add(AndroidPermission.NEARBY_WIFI_DEVICES)
+        model.enforce(AndroidApi.WIFI_INFO_GET_SSID, granted)
+
+    def test_nsd_discovery_needs_no_dangerous_permission(self):
+        """The §2.1 PoC: mDNS/SSDP scanning with only INTERNET +
+        CHANGE_WIFI_MULTICAST_STATE, neither of which is dangerous."""
+        model = PermissionModel(AndroidVersion.TIRAMISU)
+        granted = {
+            AndroidPermission.INTERNET,
+            AndroidPermission.CHANGE_WIFI_MULTICAST_STATE,
+        }
+        model.enforce(AndroidApi.NSD_DISCOVER_SERVICES, granted)
+        assert not any(PermissionModel.is_dangerous(p) for p in granted)
+
+    def test_raw_socket_always_denied(self):
+        model = PermissionModel(AndroidVersion.PIE)
+        with pytest.raises(PermissionDenied):
+            model.enforce(AndroidApi.RAW_SOCKET, set(AndroidPermission))
+
+    def test_advertising_id_free(self):
+        model = PermissionModel(AndroidVersion.PIE)
+        model.enforce(AndroidApi.ADVERTISING_ID, set())
+
+    def test_denied_exception_lists_requirements(self):
+        model = PermissionModel(AndroidVersion.PIE)
+        with pytest.raises(PermissionDenied) as excinfo:
+            model.enforce(AndroidApi.LOCATION_GET_LAST, set())
+        assert "LOCATION" in str(excinfo.value)
+
+
+class TestSdkModels:
+    def test_registry_contains_named_sdks(self):
+        for name in ("innosdk", "AppDynamics", "umlaut-insightCore", "MyTracker", "Amplitude"):
+            assert sdk_by_name(name) is not None
+
+    def test_innosdk_behaviour(self):
+        innosdk = sdk_by_name("innosdk")
+        assert ScanProtocol.NETBIOS in innosdk.scan_protocols
+        assert ScanProtocol.ARP in innosdk.scan_protocols
+        assert innosdk.algorithmic_payload
+        assert innosdk.scans_entire_prefix
+        assert innosdk.exfil[0].endpoint == "gw.innotechworld.com"
+
+    def test_appdynamics_base64_side_channel(self):
+        appdynamics = sdk_by_name("AppDynamics")
+        rule = appdynamics.exfil[0]
+        assert rule.endpoint == "events.claspws.tv/v1/event"
+        assert rule.encode_base64
+        assert Identifier.ROUTER_SSID in rule.identifiers
+        assert Identifier.SCREEN_DEVICE_LIST in rule.identifiers
+
+    def test_umlaut_targets_igd(self):
+        umlaut = sdk_by_name("umlaut-insightCore")
+        assert ScanProtocol.SSDP in umlaut.scan_protocols
+        assert Identifier.GEOLOCATION in umlaut.exfil[0].identifiers
+
+    def test_unknown_sdk(self):
+        assert sdk_by_name("nope") is None
+
+
+class TestAppDataset:
+    @pytest.fixture(scope="class")
+    def apps(self):
+        return generate_app_dataset(seed=11)
+
+    def test_size_split(self, apps):
+        assert len(apps) == DATASET_SIZE == 2335
+        iot = sum(1 for a in apps if a.category is AppCategory.IOT)
+        assert iot == IOT_APP_COUNT == 987
+        assert len(apps) - iot == REGULAR_APP_COUNT == 1348
+
+    def test_deterministic(self):
+        first = generate_app_dataset(seed=11)
+        second = generate_app_dataset(seed=11)
+        assert [a.package for a in first] == [a.package for a in second]
+
+    def test_unique_packages(self, apps):
+        packages = [a.package for a in apps]
+        assert len(packages) == len(set(packages))
+
+    def test_named_apps_present(self, apps):
+        packages = {a.package for a in apps}
+        for expected in ("com.amazon.dee.app", "com.tuya.smart", "com.cnn.mobile.android.phone",
+                         "com.luckyapp.winner", "org.speedspot.speedspotspeedtest"):
+            assert expected in packages
+
+    def test_scan_rates_match_paper(self, apps):
+        n = len(apps)
+        mdns = sum(1 for a in apps if ScanProtocol.MDNS in a.all_scan_protocols)
+        ssdp = sum(1 for a in apps if ScanProtocol.SSDP in a.all_scan_protocols)
+        netbios = sum(1 for a in apps if ScanProtocol.NETBIOS in a.all_scan_protocols)
+        assert abs(mdns / n - 0.06) < 0.005  # §4.3: 6%
+        assert abs(ssdp / n - 0.04) < 0.005  # §4.3: 4%
+        assert netbios == 10  # §6.1: 10 apps
+        scanners = sum(
+            1 for a in apps
+            if any(p in a.all_scan_protocols
+                   for p in (ScanProtocol.MDNS, ScanProtocol.SSDP, ScanProtocol.NETBIOS))
+        )
+        assert 0.08 <= scanners / n <= 0.11  # §6.1: 9%
+
+    def test_netbios_mostly_regular_apps(self, apps):
+        # §6.1: only 2 of the 10 NetBIOS apps are IoT apps.
+        netbios_iot = sum(
+            1 for a in apps
+            if ScanProtocol.NETBIOS in a.all_scan_protocols and a.category is AppCategory.IOT
+        )
+        assert netbios_iot <= 3
+
+    def test_upload_quotas(self, apps):
+        def uploads(identifier):
+            return sum(
+                1 for a in apps
+                if any(identifier in rule.identifiers for rule in a.all_exfil_rules)
+            )
+
+        assert abs(uploads(Identifier.ROUTER_SSID) - 36) <= 2
+        assert abs(uploads(Identifier.ROUTER_MAC) - 28) <= 6
+        assert abs(uploads(Identifier.WIFI_MAC) - 15) <= 2
+        assert sum(1 for a in apps if a.receives_downlink_macs) == 13
+
+    def test_tls_rate(self, apps):
+        tls = sum(1 for a in apps if a.uses_tls_to_devices)
+        assert abs(tls / len(apps) - 0.25) < 0.01  # §4.3: 25%
+
+    def test_case_study_sdk_embedding(self, apps):
+        cnn = next(a for a in apps if a.package.startswith("com.cnn"))
+        assert cnn.has_sdk("AppDynamics")
+        lucky = next(a for a in apps if a.package == "com.luckyapp.winner")
+        assert lucky.has_sdk("innosdk")
+        speedcheck = next(a for a in apps if a.package.startswith("org.speedspot"))
+        assert speedcheck.has_sdk("umlaut-insightCore")
+
+    def test_sdk_protocols_inherited(self):
+        lucky = next(a for a in named_case_study_apps() if a.package == "com.luckyapp.winner")
+        # The app itself declares no scanning; innosdk brings NetBIOS+ARP.
+        assert not lucky.scan_protocols
+        assert ScanProtocol.NETBIOS in lucky.all_scan_protocols
+        assert ScanProtocol.ARP in lucky.all_scan_protocols

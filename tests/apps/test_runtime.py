@@ -1,0 +1,167 @@
+"""Tests for the instrumented-phone runtime on the simulated LAN."""
+
+import pytest
+
+from repro.apps.appmodel import AppCategory, AppModel, ExfilRule, Identifier, ScanProtocol
+from repro.apps.dataset import generate_app_dataset
+from repro.apps.runtime import InstrumentedPhone
+from repro.apps.sdks import sdk_by_name
+
+BASE_PERMS = ["android.permission.INTERNET", "android.permission.ACCESS_WIFI_STATE"]
+MULTICAST = "android.permission.CHANGE_WIFI_MULTICAST_STATE"
+LOCATION = "android.permission.ACCESS_COARSE_LOCATION"
+
+
+@pytest.fixture
+def phone(mini_testbed):
+    mini_testbed.run(30.0)
+    phone = InstrumentedPhone()
+    mini_testbed.lan.attach(phone)
+    return mini_testbed, phone
+
+
+class TestScanning:
+    def test_mdns_harvests_hostnames_and_uuids(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.mdns", "t", AppCategory.REGULAR,
+                       permissions=BASE_PERMS + [MULTICAST],
+                       scan_protocols=[ScanProtocol.MDNS])
+        result = device.run_app(app)
+        assert "mdns" in result.protocols_used
+        assert result.harvested_values(Identifier.HOSTNAMES)
+        assert result.harvested_values(Identifier.DEVICE_UUID)
+
+    def test_ssdp_harvests_uuids(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.ssdp", "t", AppCategory.REGULAR,
+                       permissions=BASE_PERMS + [MULTICAST],
+                       scan_protocols=[ScanProtocol.SSDP])
+        result = device.run_app(app)
+        assert result.harvested_values(Identifier.DEVICE_UUID)
+        # Device UUIDs harvested via SSDP match real testbed devices.
+        uuids = {n.uuid for n in testbed.devices}
+        assert result.harvested_values(Identifier.DEVICE_UUID) & uuids
+
+    def test_arp_harvests_all_macs(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.arp", "t", AppCategory.REGULAR,
+                       permissions=BASE_PERMS, scan_protocols=[ScanProtocol.ARP])
+        result = device.run_app(app)
+        harvested = result.harvested_values(Identifier.DEVICE_MAC)
+        real = {str(n.mac) for n in testbed.devices}
+        assert harvested & real
+
+    def test_tplink_harvests_geolocation(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.tplink", "t", AppCategory.IOT,
+                       permissions=BASE_PERMS, scan_protocols=[ScanProtocol.TPLINK_SHP])
+        result = device.run_app(app)
+        assert result.harvested_values(Identifier.GEOLOCATION)
+        assert result.harvested_values(Identifier.TPLINK_IDS)
+
+    def test_innosdk_probes_whole_prefix(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.lucky", "t", AppCategory.REGULAR,
+                       permissions=BASE_PERMS, sdks=[sdk_by_name("innosdk")])
+        result = device.run_app(app)
+        # 253 NetBIOS probes (whole /24) plus an ARP sweep.
+        assert result.lan_packets_sent >= 450
+        assert {"netbios", "arp"} <= result.protocols_used
+
+    def test_plain_app_does_nothing(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.inert", "t", AppCategory.REGULAR, permissions=BASE_PERMS)
+        result = device.run_app(app)
+        assert result.lan_packets_sent == 0
+        assert not result.cloud_flows
+
+
+class TestPermissions:
+    def test_ssid_via_api_with_location(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.loc", "t", AppCategory.REGULAR,
+                       permissions=BASE_PERMS + [LOCATION],
+                       exfil=[ExfilRule("x.example", [Identifier.ROUTER_SSID])])
+        result = device.run_app(app)
+        access = [a for a in result.api_accesses if a.api.value == "WifiInfo.getSSID"]
+        assert access and access[0].granted
+
+    def test_ssid_side_channel_without_location(self, phone):
+        """§6.1: data dissemination without the necessary permissions."""
+        testbed, device = phone
+        app = AppModel("com.test.sidechannel", "t", AppCategory.REGULAR,
+                       permissions=BASE_PERMS + [MULTICAST],
+                       scan_protocols=[ScanProtocol.SSDP],
+                       exfil=[ExfilRule("x.example", [Identifier.ROUTER_SSID])])
+        result = device.run_app(app)
+        side = [a for a in result.api_accesses if a.via_side_channel]
+        assert side
+        assert result.harvested_values(Identifier.ROUTER_SSID) == {"MonIoTr-Lab"}
+
+    def test_no_side_channel_without_scanning(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.blocked", "t", AppCategory.REGULAR,
+                       permissions=BASE_PERMS,
+                       exfil=[ExfilRule("x.example", [Identifier.ROUTER_SSID])])
+        result = device.run_app(app)
+        assert not result.harvested_values(Identifier.ROUTER_SSID)
+        assert not result.cloud_flows
+
+
+class TestCloudFlows:
+    def test_exfil_carries_real_values(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.exfil", "t", AppCategory.IOT,
+                       permissions=BASE_PERMS,
+                       scan_protocols=[ScanProtocol.ARP],
+                       exfil=[ExfilRule("cloud.example", [Identifier.DEVICE_MAC], party="first")])
+        result = device.run_app(app)
+        flows = result.uploads_of(Identifier.DEVICE_MAC)
+        assert flows
+        uploaded = set(flows[0].payload_values())
+        real = {str(n.mac) for n in testbed.devices}
+        assert uploaded & real
+
+    def test_appdynamics_base64(self, phone):
+        testbed, device = phone
+        apps = generate_app_dataset(seed=11)
+        cnn = next(a for a in apps if a.package.startswith("com.cnn"))
+        result = device.run_app(cnn)
+        flow = next(f for f in result.cloud_flows if f.sdk == "AppDynamics")
+        assert flow.encoded_base64
+        import base64
+
+        decoded = base64.b64decode(flow.payload["router_ssid"]).decode()
+        assert decoded == "MonIoTr-Lab"
+
+    def test_downlink_macs(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.down", "t", AppCategory.IOT,
+                       permissions=BASE_PERMS, companion_vendors=["TP-Link"],
+                       receives_downlink_macs=True)
+        result = device.run_app(app)
+        down = [f for f in result.cloud_flows if f.direction == "down"]
+        assert down
+        macs = down[0].payload["device_mac"]
+        non_companions = {str(n.mac) for n in testbed.devices if n.vendor != "TP-Link"}
+        assert set(macs) <= non_companions
+
+    def test_tls_pairing_with_companion(self, phone):
+        testbed, device = phone
+        app = AppModel("com.test.pair", "t", AppCategory.IOT,
+                       permissions=BASE_PERMS, companion_vendors=["Philips"],
+                       uses_tls_to_devices=True)
+        result = device.run_app(app)
+        assert "tls" in result.protocols_used
+        hue = testbed.device("philips-hue-hub-1")
+        assert str(hue.mac) in result.harvested_values(Identifier.DEVICE_MAC)
+
+    def test_alexa_case_study_end_to_end(self, phone):
+        testbed, device = phone
+        apps = generate_app_dataset(seed=11)
+        alexa = next(a for a in apps if a.package == "com.amazon.dee.app")
+        result = device.run_app(alexa)
+        # §6.1: the Alexa app relays TP-Link ids + device MACs first-party.
+        uploads = result.uploads_of(Identifier.TPLINK_IDS)
+        assert uploads and uploads[0].party == "first"
+        assert result.uploads_of(Identifier.DEVICE_MAC)

@@ -1,0 +1,77 @@
+"""Tests for the communication-patterns analysis (§4.4 future work)."""
+
+import pytest
+
+from repro.core.patterns import (
+    analyze_patterns,
+    household_communication,
+    median_communicating_devices,
+)
+from tests.conftest import device_maps
+
+
+@pytest.fixture(scope="module")
+def patterns(full_testbed_run):
+    testbed, packets = full_testbed_run
+    macs, _, _ = device_maps(testbed)
+    return testbed, analyze_patterns(packets, macs)
+
+
+class TestPatterns:
+    def test_pairs_reflect_clusters(self, patterns):
+        testbed, result = patterns
+        amazon = {node.name for node in testbed.devices_of_vendor("Amazon")}
+        intra_amazon = [
+            pair for pair in result.pairs if pair[0] in amazon and pair[1] in amazon
+        ]
+        assert intra_amazon
+
+    def test_top_talkers_are_chatty_vendors(self, patterns):
+        testbed, result = patterns
+        talkers = dict(result.top_talkers(15))
+        vendors = {testbed.device(name).vendor for name in talkers}
+        assert {"Amazon", "Google"} & vendors
+
+    def test_dominant_protocol_per_pair(self, patterns):
+        testbed, result = patterns
+        top = result.top_pairs(5)
+        assert top
+        assert all(pair.dominant_protocol is not None for pair in top)
+
+    def test_broadcast_share_high_for_tuya(self, patterns):
+        testbed, result = patterns
+        tuya = [node.name for node in testbed.devices_of_vendor("Tuya")]
+        shares = [result.broadcast_share(name) for name in tuya]
+        # Tuya devices only broadcast; everything they send is one-to-many.
+        assert all(share > 0.9 for share in shares if share > 0)
+
+    def test_activity_profiles_cover_all_devices(self, patterns):
+        testbed, result = patterns
+        assert set(result.activity) == {node.name for node in testbed.devices}
+
+    def test_burstiness_bounds(self, patterns):
+        testbed, result = patterns
+        for node in testbed.devices[:20]:
+            assert result.burstiness(node.name) >= 0.0
+
+    def test_empty_capture(self):
+        result = analyze_patterns([], {"02:00:00:00:00:01": "x"})
+        assert result.pairs == {}
+        assert result.top_talkers() == []
+
+
+class TestHouseholdCommunication:
+    def test_summaries_cover_households(self, inspector_dataset):
+        summaries = household_communication(inspector_dataset)
+        assert len(summaries) == inspector_dataset.household_count
+
+    def test_median_communicating_devices(self, inspector_dataset):
+        # §6.3: "a regular household has a median of 3 different IoT
+        # devices that often communicate with each other".
+        median = median_communicating_devices(inspector_dataset)
+        assert 2.0 <= median <= 5.0
+
+    def test_flows_counted_by_transport(self, inspector_dataset):
+        summaries = household_communication(inspector_dataset)
+        assert any(summary.tcp_flows for summary in summaries)
+        assert any(summary.udp_flows for summary in summaries)

@@ -1,0 +1,84 @@
+"""Tests for honeypot-marker propagation tracing (§3.1 capability)."""
+
+import pytest
+
+from repro.apps.appmodel import AppCategory, AppModel, ExfilRule, Identifier, ScanProtocol
+from repro.apps.runtime import InstrumentedPhone
+from repro.core.propagation import trace_markers
+from repro.honeypot.farm import HoneypotFarm
+
+
+@pytest.fixture
+def lab_with_honeypots(mini_testbed):
+    farm = HoneypotFarm.deploy(mini_testbed.lan)
+    mini_testbed.run(30.0)
+    phone = InstrumentedPhone()
+    mini_testbed.lan.attach(phone)
+    return mini_testbed, farm, phone
+
+
+BASE = ["android.permission.INTERNET",
+        "android.permission.CHANGE_WIFI_MULTICAST_STATE"]
+
+
+class TestPropagation:
+    def test_marker_surfaces_in_cloud_flow(self, lab_with_honeypots):
+        testbed, farm, phone = lab_with_honeypots
+        app = AppModel(
+            "com.test.harvester", "harvester", AppCategory.REGULAR,
+            permissions=BASE,
+            scan_protocols=[ScanProtocol.SSDP],
+            exfil=[ExfilRule("collector.example", [Identifier.DEVICE_UUID])],
+        )
+        result = phone.run_app(app)
+        report = trace_markers(farm.log, [result])
+        assert report.markers_planted > 0
+        assert report.hits, "the honeypot's marked UUID must surface in the upload"
+        hit = report.hits[0]
+        assert hit.planted_protocol == "ssdp"
+        assert hit.surfaced_in_app == "com.test.harvester"
+        assert hit.endpoint == "collector.example"
+        assert hit.requested_by_mac == str(phone.mac)
+
+    def test_non_scanning_app_surfaces_nothing(self, lab_with_honeypots):
+        testbed, farm, phone = lab_with_honeypots
+        app = AppModel("com.test.clean", "clean", AppCategory.REGULAR, permissions=BASE)
+        result = phone.run_app(app)
+        report = trace_markers(farm.log, [result])
+        assert report.hits == []
+
+    def test_surfaced_fraction_bounds(self, lab_with_honeypots):
+        testbed, farm, phone = lab_with_honeypots
+        app = AppModel(
+            "com.test.h2", "h2", AppCategory.REGULAR,
+            permissions=BASE,
+            scan_protocols=[ScanProtocol.SSDP, ScanProtocol.MDNS],
+            exfil=[ExfilRule("collector.example",
+                             [Identifier.DEVICE_UUID, Identifier.HOSTNAMES])],
+        )
+        result = phone.run_app(app)
+        report = trace_markers(farm.log, [result])
+        assert 0.0 <= report.surfaced_fraction <= 1.0
+        assert report.markers_surfaced <= report.markers_planted
+
+    def test_by_protocol_breakdown(self, lab_with_honeypots):
+        testbed, farm, phone = lab_with_honeypots
+        app = AppModel(
+            "com.test.h3", "h3", AppCategory.REGULAR,
+            permissions=BASE,
+            scan_protocols=[ScanProtocol.SSDP, ScanProtocol.MDNS],
+            exfil=[ExfilRule("collector.example",
+                             [Identifier.DEVICE_UUID, Identifier.HOSTNAMES,
+                              Identifier.DEVICE_MODEL])],
+        )
+        result = phone.run_app(app)
+        report = trace_markers(farm.log, [result])
+        assert set(report.by_protocol()) <= {"ssdp", "mdns", "http", "telnet"}
+        assert sum(report.by_protocol().values()) == len(report.hits)
+
+    def test_empty_inputs(self):
+        from repro.honeypot.base import HoneypotLog
+
+        report = trace_markers(HoneypotLog(), [])
+        assert report.markers_planted == 0
+        assert report.surfaced_fraction == 0.0

@@ -1,0 +1,109 @@
+"""Unit tests for report renderers and the exfiltration audit."""
+
+import pytest
+
+from repro.apps.appmodel import AppCategory, AppModel, Identifier
+from repro.apps.runtime import AppRunResult, CloudFlow
+from repro.core.exfiltration import ExfiltrationAudit, audit_app_runs, sdk_case_studies
+from repro.report.tables import render_comparison, render_table
+
+
+def _run(package, category=AppCategory.REGULAR, protocols=(), flows=(), accesses=()):
+    app = AppModel(package, package, category, permissions=[])
+    result = AppRunResult(app=app)
+    result.protocols_used = set(protocols)
+    result.cloud_flows = list(flows)
+    result.api_accesses = list(accesses)
+    return result
+
+
+def _flow(app, endpoint, payload, party="third", sdk=None, direction="up", b64=False):
+    return CloudFlow(timestamp=0.0, app=app, endpoint=endpoint, party=party,
+                     sdk=sdk, payload=payload, direction=direction, encoded_base64=b64)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [("x", 1), ("yyyy", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        # all rows same width
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_comparison(self):
+        text = render_comparison([("metric", 1, 2)])
+        assert "paper" in text and "measured" in text
+        assert "metric" in text
+
+    def test_empty_rows(self):
+        text = render_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestExfiltrationAudit:
+    def test_scanner_union(self):
+        runs = [
+            _run("a", protocols={"mdns"}),
+            _run("b", protocols={"ssdp"}),
+            _run("c", protocols={"mdns", "ssdp"}),
+            _run("d", protocols={"arp"}),  # arp alone is not a "scanner"
+            _run("e"),
+        ]
+        audit = audit_app_runs(runs)
+        assert audit.any_scanner_count == 3
+        assert audit.scanner_fraction("mdns") == pytest.approx(2 / 5)
+
+    def test_upload_accounting(self):
+        runs = [
+            _run("a", flows=[_flow("a", "x.com", {"router_ssid": "Lab"})]),
+            _run("b", flows=[_flow("b", "y.com", {"router_ssid": "Lab", "aaid": "z"})]),
+        ]
+        audit = audit_app_runs(runs)
+        assert audit.apps_uploading(Identifier.ROUTER_SSID) == 2
+        assert audit.apps_uploading(Identifier.AAID) == 1
+        assert audit.upload_endpoints[Identifier.ROUTER_SSID] == {"x.com", "y.com"}
+
+    def test_downlink_separated_from_uploads(self):
+        runs = [_run("a", flows=[
+            _flow("a", "aws", {"device_mac": ["m1"]}, direction="down"),
+        ])]
+        audit = audit_app_runs(runs)
+        assert audit.apps_uploading(Identifier.DEVICE_MAC) == 0
+        assert audit.downlink_mac_apps == {"a"}
+
+    def test_iot_mac_relaying_counted(self):
+        runs = [
+            _run("iot", category=AppCategory.IOT,
+                 flows=[_flow("iot", "cloud", {"device_mac": "m"}, party="first")]),
+            _run("reg", category=AppCategory.REGULAR,
+                 flows=[_flow("reg", "cloud", {"device_mac": "m"})]),
+        ]
+        audit = audit_app_runs(runs)
+        assert audit.device_mac_relaying_iot_apps == {"iot"}
+
+    def test_third_party_tracking(self):
+        runs = [_run("a", flows=[
+            _flow("a", "tracker", {"router_mac": "m"}, party="third"),
+            _flow("a", "own", {"router_mac": "m"}, party="first"),
+        ])]
+        audit = audit_app_runs(runs)
+        assert audit.third_party_uploads[Identifier.ROUTER_MAC] == {"a"}
+
+    def test_sdk_case_studies(self):
+        runs = [_run("cnn", flows=[
+            _flow("cnn", "events.claspws.tv/v1/event",
+                  {"router_ssid": "enc"}, sdk="AppDynamics", b64=True),
+        ])]
+        studies = sdk_case_studies(audit_app_runs(runs))
+        assert studies["AppDynamics"]["base64_encoded"]
+        assert studies["AppDynamics"]["apps"] == ["cnn"]
+
+    def test_total_apps_override(self):
+        runs = [_run("a", protocols={"mdns"})]
+        audit = audit_app_runs(runs, total_apps=100)
+        assert audit.scanner_fraction("mdns") == pytest.approx(0.01)
+
+    def test_empty(self):
+        audit = audit_app_runs([])
+        assert audit.summary()["total_apps"] == 0

@@ -1,0 +1,201 @@
+"""Tests for the Table 3 catalog: counts, structure, paper marginals."""
+
+from collections import Counter
+
+import pytest
+
+from repro.devices.catalog import (
+    TESTBED_CATEGORY_COUNTS,
+    build_catalog,
+    catalog_summary,
+)
+from repro.devices.profiles import HostnameScheme
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog()
+
+
+class TestTable3Structure:
+    def test_93_devices(self, catalog):
+        assert len(catalog) == 93
+
+    def test_78_unique_models(self, catalog):
+        assert len({(profile.vendor, profile.model) for profile in catalog}) == 78
+
+    def test_category_counts(self, catalog):
+        counts = Counter(profile.category for profile in catalog)
+        assert dict(counts) == TESTBED_CATEGORY_COUNTS
+
+    def test_voice_assistant_vendors(self, catalog):
+        voice = [profile for profile in catalog if profile.category == "Voice Assistant"]
+        vendors = Counter(profile.vendor for profile in voice)
+        # Table 3: Amazon (17), Apple (3), Meta (1), Google (7).
+        assert vendors == {"Amazon": 17, "Apple": 3, "Meta": 1, "Google": 7}
+
+    def test_surveillance_has_ring_four(self, catalog):
+        ring = [p for p in catalog if p.category == "Surveillance" and p.vendor == "Ring"]
+        assert len(ring) == 4
+
+    def test_unique_names(self, catalog):
+        names = [profile.name for profile in catalog]
+        assert len(names) == len(set(names))
+
+    def test_summary_totals(self, catalog):
+        summary = catalog_summary(catalog)
+        assert sum(sum(v.values()) for v in summary.values()) == 93
+
+
+class TestPaperMarginals:
+    """§4/§5 prevalence targets; generous bands, exact values are
+    reported (vs the paper) by the benchmarks."""
+
+    def test_mdns_near_44_percent(self, catalog):
+        assert 38 <= sum(1 for p in catalog if p.mdns) <= 45
+
+    def test_ssdp_near_32_percent(self, catalog):
+        assert 28 <= sum(1 for p in catalog if p.ssdp) <= 35
+
+    def test_ssdp_notify_seven(self, catalog):
+        assert sum(1 for p in catalog if p.ssdp and p.ssdp.notify) == 7
+
+    def test_ssdp_responders_nine(self, catalog):
+        assert sum(1 for p in catalog if p.ssdp and p.ssdp.respond) == 9
+
+    def test_ipv6_near_59_percent(self, catalog):
+        assert 50 <= sum(1 for p in catalog if p.supports_ipv6) <= 61
+
+    def test_udp_scan_responders_twenty(self, catalog):
+        assert sum(1 for p in catalog if p.responds_to_udp_scan) == 20
+
+    def test_tuya_devices_broadcast(self, catalog):
+        tuya = [p for p in catalog if p.tuya_broadcast]
+        assert len(tuya) == 5
+        # Jinvoo bulb is the plaintext one (§5.1).
+        plaintext = [p for p in tuya if not p.tuya_encrypted]
+        assert [p.model for p in plaintext] == ["Jinvoo Bulb"]
+
+    def test_tplink_servers(self, catalog):
+        assert sum(1 for p in catalog if p.tplink_role == "server") == 2
+
+    def test_tplink_clients_are_amazon_google(self, catalog):
+        clients = {p.vendor for p in catalog if p.tplink_role == "client"}
+        assert clients == {"Amazon", "Google"}
+
+    def test_echo_arp_sweep_daily(self, catalog):
+        echos = [p for p in catalog if p.vendor == "Amazon" and p.category == "Voice Assistant"]
+        assert all(p.arp_scan.broadcast_sweep_interval == 86400.0 for p in echos)
+        assert all(abs(p.arp_scan.unicast_probe_fraction - 0.83) < 1e-9 for p in echos)
+
+    def test_google_ssdp_every_20s(self, catalog):
+        google_speakers = [p for p in catalog if p.vendor == "Google" and p.ssdp]
+        assert all(p.ssdp.msearch_interval == 20.0 for p in google_speakers)
+
+    def test_echo_ssdp_2_to_3_hours(self, catalog):
+        echos = [p for p in catalog if p.vendor == "Amazon" and p.category == "Voice Assistant"]
+        assert all(7200.0 <= p.ssdp.msearch_interval <= 10800.0 for p in echos)
+
+    def test_echo_generic_ssdp_targets(self, catalog):
+        echo = next(p for p in catalog if p.name == "amazon-echo-spot-1")
+        assert set(echo.ssdp.msearch_targets) == {"ssdp:all", "upnp:rootdevice"}
+
+    def test_google_specific_ssdp_targets(self, catalog):
+        hub = next(p for p in catalog if p.name == "google-nest-hub-5")
+        assert "ssdp:all" not in hub.ssdp.msearch_targets
+
+    def test_open_port_devices_near_61(self, catalog):
+        assert 55 <= sum(1 for p in catalog if p.open_services) <= 70
+
+
+class TestDocumentedQuirks:
+    def test_fire_tv_bad_location(self, catalog):
+        fire_tv = next(p for p in catalog if p.name == "amazon-fire-tv-1")
+        assert fire_tv.ssdp.bad_location_prefix
+
+    def test_lg_firmware_rotation(self, catalog):
+        lg = next(p for p in catalog if p.name == "lg-tv-1")
+        assert lg.ssdp.firmware_rotation == [
+            "WebOS TV/Version 0.9", "WebOS/1.5", "WebOS/4.1.0",
+        ]
+
+    def test_roku_igd(self, catalog):
+        roku = next(p for p in catalog if p.name == "roku-tv-1")
+        assert roku.ssdp.search_igd
+
+    def test_homepod_mini_sheerdns(self, catalog):
+        homepod = next(p for p in catalog if p.name == "apple-homepod-mini-1")
+        dns = next(s for s in homepod.open_services if s.protocol == "dns")
+        assert dns.software == "SheerDNS" and dns.version == "1.0.0"
+        assert any(v.cve == "NESSUS-11535" for v in homepod.vulnerabilities)
+
+    def test_wemo_dns_cache_snooping(self, catalog):
+        wemo = next(p for p in catalog if p.name == "wemo-plug-1")
+        assert any(v.cve == "NESSUS-12217" for v in wemo.vulnerabilities)
+
+    def test_microseven_jquery_and_onvif(self, catalog):
+        cam = next(p for p in catalog if p.name == "microseven-camera-1")
+        cves = {v.cve for v in cam.vulnerabilities}
+        assert {"CVE-2020-11022", "CVE-2020-11023", "ONVIF-UNAUTH-SNAPSHOT"} <= cves
+
+    def test_lefun_backup_exposure(self, catalog):
+        lefun = next(p for p in catalog if p.name == "lefun-camera-1")
+        assert any(v.cve == "HTTP-BACKUP-EXPOSURE" for v in lefun.vulnerabilities)
+
+    def test_google_short_tls_keys_on_8009(self, catalog):
+        hub = next(p for p in catalog if p.name == "google-nest-hub-5")
+        assert hub.tls.port == 8009
+        assert 64 <= hub.tls.key_bits <= 122
+
+    def test_amazon_tls_three_months_ip_cn(self, catalog):
+        echo = next(p for p in catalog if p.name == "amazon-echo-spot-1")
+        assert echo.tls.cert_validity_days == 90.0
+        assert echo.tls.cn_scheme == "local_ip"
+        assert echo.tls.mutual_auth
+
+    def test_apple_tls_13(self, catalog):
+        for profile in catalog:
+            if profile.vendor == "Apple":
+                assert profile.tls.version == "1.3"
+
+    def test_hue_cert_28_years(self, catalog):
+        hue = next(p for p in catalog if p.name == "philips-hue-hub-1")
+        assert 20 <= hue.tls.cert_validity_days / 365.25 <= 28.5
+
+    def test_echo_open_ports(self, catalog):
+        echo = next(p for p in catalog if p.name == "amazon-echo-spot-1")
+        ports = {s.port for s in echo.open_services if s.transport == "tcp"}
+        assert {55442, 55443, 4070} <= ports
+
+    def test_echo_lifx_broadcast(self, catalog):
+        echo = next(p for p in catalog if p.name == "amazon-echo-spot-1")
+        assert echo.unknown_broadcast_port == 56700
+        assert echo.unknown_broadcast_interval == 7200.0
+
+    def test_google_stun_like_range(self, catalog):
+        hub = next(p for p in catalog if p.name == "google-nest-hub-5")
+        assert hub.stun_like_udp_ports == list(range(10000, 10011))
+
+    def test_hostname_schemes(self, catalog):
+        by_name = {p.name: p for p in catalog}
+        assert by_name["ring-chime-1"].dhcp.hostname_scheme is HostnameScheme.NAME_AND_MAC
+        assert by_name["ring-camera-1"].dhcp.hostname_scheme is HostnameScheme.MODEL
+        assert by_name["tuya-automation-1"].dhcp.hostname_scheme is HostnameScheme.VENDOR_AND_PARTIAL_MAC
+        assert by_name["ge-microwave-1"].dhcp.hostname_scheme is HostnameScheme.RANDOMIZED
+        assert by_name["tivo-stream-1"].dhcp.hostname_scheme is HostnameScheme.RANDOMIZED
+        assert by_name["apple-homepod-mini-1"].dhcp.hostname_scheme is HostnameScheme.USER_DISPLAY_NAME
+
+    def test_samsung_fridge_iotivity(self, catalog):
+        fridge = next(p for p in catalog if p.name == "samsung-fridge-1")
+        assert fridge.coap_role == "iotivity-client"
+
+    def test_homepod_coap_opaque(self, catalog):
+        homepod = next(p for p in catalog if p.name == "apple-homepod-mini-1")
+        assert homepod.coap_role == "opaque"
+
+    def test_exposed_identifier_types(self, catalog):
+        tplink = next(p for p in catalog if p.name == "tplink-1")
+        exposed = tplink.exposed_identifier_types()
+        assert "Geolocation" in exposed and "OEM id" in exposed
+        jinvoo = next(p for p in catalog if p.model == "Jinvoo Bulb")
+        assert {"GW id", "Prod. Key"} <= set(jinvoo.exposed_identifier_types())

@@ -1,0 +1,91 @@
+"""Tests for the §3.1 scripted-interaction dataset."""
+
+import pytest
+
+from repro.devices.behaviors import build_testbed
+from repro.devices.interactions import (
+    Action,
+    InteractionKind,
+    InteractionRunner,
+)
+
+
+@pytest.fixture(scope="module")
+def ran_interactions():
+    testbed = build_testbed(seed=17)
+    testbed.run(20.0)
+    runner = InteractionRunner(testbed)
+    runner.run(count=40, gap=1.0)
+    return testbed, runner
+
+
+class TestInteractionRunner:
+    def test_all_interactions_recorded(self, ran_interactions):
+        testbed, runner = ran_interactions
+        assert len(runner.records) == 40
+        assert [record.index for record in runner.records] == list(range(40))
+
+    def test_both_trigger_kinds_used(self, ran_interactions):
+        testbed, runner = ran_interactions
+        kinds = {record.kind for record in runner.records}
+        assert kinds == {InteractionKind.COMPANION_APP, InteractionKind.VOICE_ASSISTANT}
+
+    def test_labels_are_time_ordered(self, ran_interactions):
+        testbed, runner = ran_interactions
+        starts = [record.start for record in runner.records]
+        assert starts == sorted(starts)
+        assert all(record.end >= record.start for record in runner.records)
+
+    def test_traffic_reaches_target(self, ran_interactions):
+        testbed, runner = ran_interactions
+        reached = sum(
+            1 for record in runner.records
+            if runner.interaction_reached_target(record)
+        )
+        # TPLINK/HTTP/TLS controls all go controller -> target directly.
+        assert reached / len(runner.records) > 0.9
+
+    def test_action_matches_device_type(self, ran_interactions):
+        testbed, runner = ran_interactions
+        for record in runner.records:
+            target = testbed.device(record.target)
+            if "Plug" in target.profile.model:
+                assert record.action in (Action.POWER_TOGGLE, Action.SET_BRIGHTNESS)
+            if target.profile.category == "Media/TV":
+                assert record.action is Action.CAST_MEDIA
+
+    def test_label_rows_shape(self, ran_interactions):
+        testbed, runner = ran_interactions
+        rows = runner.label_rows()
+        assert len(rows) == 40
+        assert all(len(row) == 7 for row in rows)
+
+    def test_tplink_interaction_uses_shp(self, ran_interactions):
+        testbed, runner = ran_interactions
+        tplink_records = [r for r in runner.records if r.target.startswith("tplink")]
+        if not tplink_records:
+            pytest.skip("no TP-Link interaction in this sample")
+        record = tplink_records[0]
+        slice_packets = runner.traffic_during(record)
+        assert any(
+            packet.tcp is not None and packet.tcp.dst_port == 9999 and packet.tcp.payload
+            for packet in slice_packets
+        )
+
+    def test_deterministic(self):
+        def run_once():
+            testbed = build_testbed(seed=19)
+            testbed.run(5.0)
+            runner = InteractionRunner(testbed)
+            runner.run(count=10, gap=0.5)
+            return [(r.target, r.action) for r in runner.records]
+
+        assert run_once() == run_once()
+
+    def test_requires_controllable_devices(self):
+        from repro.devices.catalog import build_catalog
+
+        profiles = [p for p in build_catalog() if p.name == "blink-camera-1"]
+        testbed = build_testbed(seed=3, profiles=profiles)
+        with pytest.raises(RuntimeError):
+            InteractionRunner(testbed).run(1)

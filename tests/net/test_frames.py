@@ -1,0 +1,120 @@
+"""Unit tests for Ethernet / ARP / EAPOL / IGMP codecs."""
+
+import pytest
+
+from repro.net.arp import ArpOp, ArpPacket
+from repro.net.eapol import EapolFrame, EapolType
+from repro.net.ether import EthernetFrame, EtherType
+from repro.net.igmp import IgmpMessage, IgmpType
+from repro.net.mac import BROADCAST_MAC, MacAddress
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        frame = EthernetFrame("02:00:00:00:00:02", "02:00:00:00:00:01", EtherType.IPV4, b"abc")
+        decoded = EthernetFrame.decode(frame.encode())
+        assert decoded.dst == "02:00:00:00:00:02"
+        assert decoded.src == "02:00:00:00:00:01"
+        assert decoded.ethertype == EtherType.IPV4
+        assert decoded.payload == b"abc"
+
+    def test_kind_classification(self):
+        assert EthernetFrame(BROADCAST_MAC, "02:00:00:00:00:01", 0x0806).kind is EtherType.ARP
+        assert EthernetFrame(BROADCAST_MAC, "02:00:00:00:00:01", 0x888E).kind is EtherType.EAPOL
+        # Values below 0x600 are 802.3 lengths -> LLC.
+        assert EthernetFrame(BROADCAST_MAC, "02:00:00:00:00:01", 0x0100).kind is EtherType.LLC
+        # Unknown high ethertypes also fall back to LLC bucket.
+        assert EtherType.classify(0x9999) is EtherType.LLC
+
+    def test_broadcast_and_multicast_flags(self):
+        broadcast = EthernetFrame(BROADCAST_MAC, "02:00:00:00:00:01", EtherType.IPV4)
+        assert broadcast.is_broadcast and broadcast.is_multicast
+        multicast = EthernetFrame("01:00:5e:00:00:fb", "02:00:00:00:00:01", EtherType.IPV4)
+        assert multicast.is_multicast and not multicast.is_broadcast
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            EthernetFrame.decode(b"\x00" * 10)
+
+    def test_len(self):
+        frame = EthernetFrame(BROADCAST_MAC, "02:00:00:00:00:01", EtherType.IPV4, b"xy")
+        assert len(frame) == 16
+
+
+class TestArp:
+    def test_request_roundtrip(self):
+        packet = ArpPacket(ArpOp.REQUEST, "02:00:00:00:00:01", "192.168.10.5",
+                           "00:00:00:00:00:00", "192.168.10.60")
+        decoded = ArpPacket.decode(packet.encode())
+        assert decoded.op is ArpOp.REQUEST
+        assert decoded.sender_ip == "192.168.10.5"
+        assert decoded.target_ip == "192.168.10.60"
+
+    def test_reply_roundtrip(self):
+        packet = ArpPacket(ArpOp.REPLY, "02:00:00:00:00:02", "192.168.10.60",
+                           "02:00:00:00:00:01", "192.168.10.5")
+        decoded = ArpPacket.decode(packet.encode())
+        assert decoded.op is ArpOp.REPLY
+        assert decoded.sender_mac == "02:00:00:00:00:02"
+
+    def test_probe_detection(self):
+        probe = ArpPacket(ArpOp.REQUEST, "02:00:00:00:00:01", "0.0.0.0",
+                          "00:00:00:00:00:00", "192.168.10.60")
+        assert probe.is_probe and not probe.is_gratuitous
+
+    def test_gratuitous_detection(self):
+        gratuitous = ArpPacket(ArpOp.REQUEST, "02:00:00:00:00:01", "192.168.10.5",
+                               "00:00:00:00:00:00", "192.168.10.5")
+        assert gratuitous.is_gratuitous and not gratuitous.is_probe
+
+    def test_unsupported_hardware_type(self):
+        raw = bytearray(ArpPacket(ArpOp.REQUEST, "02:00:00:00:00:01", "192.168.10.5",
+                                  "00:00:00:00:00:00", "192.168.10.60").encode())
+        raw[0:2] = b"\x00\x06"  # IEEE 802 hardware type
+        with pytest.raises(ValueError):
+            ArpPacket.decode(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            ArpPacket.decode(b"\x00" * 8)
+
+
+class TestEapol:
+    def test_roundtrip(self):
+        frame = EapolFrame.key_frame(1)
+        decoded = EapolFrame.decode(frame.encode())
+        assert decoded.packet_type == EapolType.KEY
+        assert decoded.version == 2
+        assert len(decoded.body) == len(frame.body)
+
+    def test_all_handshake_messages(self):
+        for message in (1, 2, 3, 4):
+            assert EapolFrame.key_frame(message).packet_type == EapolType.KEY
+
+    def test_invalid_message_number(self):
+        with pytest.raises(ValueError):
+            EapolFrame.key_frame(5)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            EapolFrame.decode(b"\x02")
+
+
+class TestIgmp:
+    def test_join_roundtrip(self):
+        decoded = IgmpMessage.decode(IgmpMessage.join("224.0.0.251").encode())
+        assert decoded.igmp_type == IgmpType.V2_MEMBERSHIP_REPORT
+        assert decoded.group == "224.0.0.251"
+
+    def test_leave_roundtrip(self):
+        decoded = IgmpMessage.decode(IgmpMessage.leave("239.255.255.250").encode())
+        assert decoded.igmp_type == IgmpType.LEAVE_GROUP
+
+    def test_query(self):
+        query = IgmpMessage(IgmpType.MEMBERSHIP_QUERY, "0.0.0.0", max_resp_time=100)
+        decoded = IgmpMessage.decode(query.encode())
+        assert decoded.max_resp_time == 100
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            IgmpMessage.decode(b"\x16\x00")

@@ -1,0 +1,119 @@
+"""Tests for the LLC/XID codec and DHCPv6."""
+
+import pytest
+
+from repro.net.decode import decode_frame
+from repro.net.ether import EtherType, EthernetFrame
+from repro.net.llc import LlcFrame, xid_broadcast_frame
+from repro.protocols.dhcpv6 import (
+    Dhcpv6Message,
+    Dhcpv6MessageType,
+    Dhcpv6Option,
+    duid_ll,
+    mac_from_duid,
+)
+
+
+class TestLlc:
+    def test_xid_roundtrip(self):
+        frame = LlcFrame.xid_probe()
+        decoded = LlcFrame.decode(frame.encode())
+        assert decoded.is_xid
+        assert decoded.information == bytes([0x81, 0x01, 0x00])
+
+    def test_broadcast_frame_classified_as_llc(self):
+        raw = xid_broadcast_frame("98:b6:e9:01:02:03")
+        packet = decode_frame(raw)
+        assert packet.frame.kind is EtherType.LLC
+        assert packet.frame.is_broadcast
+
+    def test_classifiers_label_xid(self):
+        from repro.classify.labels import Label
+        from repro.classify.ndpi_like import NdpiLikeClassifier
+        from repro.classify.tshark_like import TsharkLikeClassifier
+
+        packet = decode_frame(xid_broadcast_frame("8c:71:f8:01:02:03"))
+        assert TsharkLikeClassifier().classify_packet(packet) is Label.XID_LLC
+        assert NdpiLikeClassifier().classify_packet(packet) is Label.XID_LLC
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            LlcFrame.decode(b"\x00")
+
+    def test_non_xid_control(self):
+        frame = LlcFrame(0xAA, 0xAA, 0x03, b"snap")  # UI frame
+        assert not LlcFrame.decode(frame.encode()).is_xid
+
+
+class TestDhcpv6:
+    def test_solicit_roundtrip(self):
+        message = Dhcpv6Message.solicit("50:c7:bf:01:02:03", 0xABCDEF, fqdn="plug.local")
+        decoded = Dhcpv6Message.decode(message.encode())
+        assert decoded.message_type is Dhcpv6MessageType.SOLICIT
+        assert decoded.transaction_id == 0xABCDEF
+        assert decoded.fqdn == "plug.local"
+
+    def test_duid_ll_embeds_mac(self):
+        duid = duid_ll("50:c7:bf:01:02:03")
+        assert str(mac_from_duid(duid)) == "50:c7:bf:01:02:03"
+
+    def test_duid_llt_recovery(self):
+        import struct
+
+        duid = struct.pack("!HHI", 1, 1, 12345) + bytes.fromhex("50c7bf010203")
+        assert str(mac_from_duid(duid)) == "50:c7:bf:01:02:03"
+
+    def test_duid_other_hardware_rejected(self):
+        import struct
+
+        duid = struct.pack("!HH", 3, 6) + b"\x00" * 6  # IEEE 802 hw type
+        assert mac_from_duid(duid) is None
+
+    def test_client_mac_property(self):
+        message = Dhcpv6Message.solicit("50:c7:bf:01:02:03", 1)
+        decoded = Dhcpv6Message.decode(message.encode())
+        assert str(decoded.client_mac) == "50:c7:bf:01:02:03"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            Dhcpv6Message.decode(b"\xf0\x00\x00\x01")
+
+    def test_truncated_option(self):
+        message = Dhcpv6Message.solicit("50:c7:bf:01:02:03", 1)
+        with pytest.raises(ValueError):
+            Dhcpv6Message.decode(message.encode()[:-3])
+
+    def test_ndpi_detects(self):
+        from repro.classify.labels import Label
+        from repro.classify.ndpi_like import NdpiLikeClassifier
+        from repro.net.ipv6 import Ipv6Packet
+        from repro.net.udp import UdpDatagram
+
+        message = Dhcpv6Message.solicit("50:c7:bf:01:02:03", 1)
+        datagram = UdpDatagram(546, 547, message.encode())
+        packet6 = Ipv6Packet("fe80::1", "ff02::1:2", 17, datagram.encode())
+        frame = EthernetFrame("33:33:00:01:00:02", "50:c7:bf:01:02:03",
+                              EtherType.IPV6, packet6.encode())
+        decoded = decode_frame(frame.encode())
+        assert NdpiLikeClassifier().classify_packet(decoded) is Label.DHCPV6
+
+
+class TestBootEmission:
+    def test_tvs_emit_xid(self, mini_capture):
+        testbed, packets = mini_capture
+        xid_senders = {
+            str(p.frame.src) for p in packets if p.frame.kind is EtherType.LLC
+        }
+        tv_macs = {str(n.mac) for n in testbed.devices if n.profile.category == "Media/TV"}
+        assert xid_senders & tv_macs
+
+    def test_ipv6_devices_solicit_dhcpv6(self, mini_capture):
+        testbed, packets = mini_capture
+        solicits = [
+            p for p in packets
+            if p.ipv6 is not None and p.udp is not None and p.udp.dst_port == 547
+        ]
+        assert solicits
+        # The DUID leaks the sender's MAC.
+        message = Dhcpv6Message.decode(solicits[0].udp.payload)
+        assert str(message.client_mac) == str(solicits[0].frame.src)

@@ -1,0 +1,220 @@
+"""Unit tests for pcap I/O, flow assembly, the local filter, and OUIs."""
+
+import random
+
+import pytest
+
+from repro.net.decode import decode_frame
+from repro.net.ether import EthernetFrame, EtherType
+from repro.net.filters import LocalTrafficFilter, is_private_conversation
+from repro.net.flows import FlowKey, FlowTable, assemble_flows, flow_key_of
+from repro.net.ipv4 import IpProtocol, Ipv4Packet
+from repro.net.mac import BROADCAST_MAC, MacAddress
+from repro.net.oui import DEFAULT_OUI_REGISTRY, OuiRegistry
+from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.udp import UdpDatagram
+
+
+def _udp_frame(src_mac, dst_mac, src_ip, dst_ip, sport, dport, payload=b"x"):
+    datagram = UdpDatagram(sport, dport, payload)
+    packet = Ipv4Packet(src_ip, dst_ip, IpProtocol.UDP, datagram.encode())
+    return EthernetFrame(dst_mac, src_mac, EtherType.IPV4, packet.encode()).encode()
+
+
+class TestPcap:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        frames = [(1.0, b"\x00" * 20), (2.5, b"\x01" * 64), (3.000001, b"\x02" * 1400)]
+        assert write_pcap(path, frames) == 3
+        packets = read_pcap(path)
+        assert [p.length for p in packets] == [20, 64, 1400]
+        assert abs(packets[2].timestamp - 3.000001) < 1e-6
+
+    def test_header_fields(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        write_pcap(path, [(0.0, b"abc")])
+        with PcapReader(path) as reader:
+            assert reader.version == (2, 4)
+            assert reader.linktype == 1  # Ethernet
+            assert reader.snaplen == 65535
+
+    def test_snaplen_truncation(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        with PcapWriter(path, snaplen=16) as writer:
+            writer.write(0.0, b"\xaa" * 100)
+        packets = read_pcap(path)
+        assert packets[0].length == 16
+
+    def test_rejects_non_pcap(self, tmp_path):
+        path = tmp_path / "bogus.pcap"
+        path.write_bytes(b"not a pcap file at all....")
+        with pytest.raises(ValueError):
+            PcapReader(path)
+
+    def test_rejects_short_file(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1")
+        with pytest.raises(ValueError):
+            PcapReader(path)
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, [(0.0, b"\x00" * 40)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(ValueError):
+            with PcapReader(path) as reader:
+                list(reader)
+
+    def test_byte_swapped_magic(self, tmp_path):
+        path = tmp_path / "swapped.pcap"
+        write_pcap(path, [(1.0, b"xyz")])
+        data = bytearray(path.read_bytes())
+        # Rewrite global header and record header big-endian.
+        import struct
+
+        magic, vmaj, vmin, tz, sig, snap, link = struct.unpack("<IHHiIII", data[:24])
+        head = struct.pack(">IHHiIII", magic, vmaj, vmin, tz, sig, snap, link)
+        ts_sec, ts_usec, incl, orig = struct.unpack("<IIII", data[24:40])
+        record = struct.pack(">IIII", ts_sec, ts_usec, incl, orig)
+        path.write_bytes(head + record + bytes(data[40:]))
+        packets = read_pcap(path)
+        assert packets[0].data == b"xyz"
+
+
+class TestFlows:
+    def test_five_tuple_grouping(self):
+        frames = [
+            _udp_frame("02:00:00:00:00:01", "02:00:00:00:00:02",
+                       "192.168.10.1", "192.168.10.2", 5000, 80),
+            _udp_frame("02:00:00:00:00:01", "02:00:00:00:00:02",
+                       "192.168.10.1", "192.168.10.2", 5000, 80),
+            _udp_frame("02:00:00:00:00:02", "02:00:00:00:00:01",
+                       "192.168.10.2", "192.168.10.1", 80, 5000),
+        ]
+        table = assemble_flows(decode_frame(f, i * 1.0) for i, f in enumerate(frames))
+        assert len(table) == 2  # two directed flows
+        forward = table.get(FlowKey("192.168.10.1", 5000, "192.168.10.2", 80, "udp"))
+        assert forward.packet_count == 2
+
+    def test_bidirectional_grouping(self):
+        frames = [
+            _udp_frame("02:00:00:00:00:01", "02:00:00:00:00:02",
+                       "192.168.10.1", "192.168.10.2", 5000, 80),
+            _udp_frame("02:00:00:00:00:02", "02:00:00:00:00:01",
+                       "192.168.10.2", "192.168.10.1", 80, 5000),
+        ]
+        table = assemble_flows(decode_frame(f) for f in frames)
+        conversations = table.bidirectional_flows()
+        assert len(conversations) == 1
+        assert len(next(iter(conversations.values()))) == 2
+
+    def test_non_transport_packets_separated(self):
+        from repro.net.arp import ArpOp, ArpPacket
+
+        arp = ArpPacket(ArpOp.REQUEST, "02:00:00:00:00:01", "192.168.10.1",
+                        "00:00:00:00:00:00", "192.168.10.2")
+        frame = EthernetFrame(BROADCAST_MAC, "02:00:00:00:00:01", EtherType.ARP, arp.encode())
+        table = assemble_flows([decode_frame(frame.encode())])
+        assert len(table) == 0
+        assert len(table.non_flow_packets) == 1
+
+    def test_flow_statistics(self):
+        frames = [
+            _udp_frame("02:00:00:00:00:01", "02:00:00:00:00:02",
+                       "192.168.10.1", "192.168.10.2", 5000, 80, payload=b"hello"),
+            _udp_frame("02:00:00:00:00:01", "02:00:00:00:00:02",
+                       "192.168.10.1", "192.168.10.2", 5000, 80, payload=b"world"),
+        ]
+        table = assemble_flows(decode_frame(f, ts) for ts, f in zip((1.0, 4.0), frames))
+        flow = table.flows[0]
+        assert flow.duration == 3.0
+        assert flow.payload == b"helloworld"
+        assert flow.first_payload_packet() is flow.packets[0]
+        assert flow.byte_count > 0
+
+    def test_flow_key_reversal(self):
+        key = FlowKey("a", 1, "b", 2, "udp")
+        assert key.reversed() == FlowKey("b", 2, "a", 1, "udp")
+        assert key.bidirectional() == key.reversed().bidirectional()
+
+    def test_flow_key_of_non_ip(self):
+        frame = EthernetFrame(BROADCAST_MAC, "02:00:00:00:00:01", EtherType.EAPOL, b"")
+        assert flow_key_of(decode_frame(frame.encode())) is None
+
+
+class TestLocalFilter:
+    def _packet(self, src_ip, dst_ip, dst_mac="02:00:00:00:00:02"):
+        return decode_frame(
+            _udp_frame("02:00:00:00:00:01", dst_mac, src_ip, dst_ip, 1000, 2000)
+        )
+
+    def test_local_unicast_kept(self):
+        traffic_filter = LocalTrafficFilter("192.168.10.0/24")
+        assert traffic_filter.matches(self._packet("192.168.10.1", "192.168.10.2"))
+
+    def test_wan_traffic_dropped(self):
+        traffic_filter = LocalTrafficFilter("192.168.10.0/24")
+        assert not traffic_filter.matches(self._packet("192.168.10.1", "142.250.1.1"))
+
+    def test_cross_subnet_private_dropped(self):
+        # Private but outside the configured /24: not local for clause 1.
+        traffic_filter = LocalTrafficFilter("192.168.10.0/24")
+        assert not traffic_filter.matches(self._packet("192.168.10.1", "192.168.99.7"))
+
+    def test_multicast_always_kept(self):
+        traffic_filter = LocalTrafficFilter("192.168.10.0/24")
+        packet = self._packet("192.168.10.1", "224.0.0.251", dst_mac="01:00:5e:00:00:fb")
+        assert traffic_filter.matches(packet)
+
+    def test_non_ip_unicast_kept(self):
+        traffic_filter = LocalTrafficFilter()
+        frame = EthernetFrame("02:00:00:00:00:02", "02:00:00:00:00:01", EtherType.EAPOL, b"")
+        assert traffic_filter.matches(decode_frame(frame.encode()))
+
+    def test_apply_filters_list(self):
+        traffic_filter = LocalTrafficFilter("192.168.10.0/24")
+        packets = [
+            self._packet("192.168.10.1", "192.168.10.2"),
+            self._packet("192.168.10.1", "8.8.8.8"),
+        ]
+        assert len(traffic_filter.apply(packets)) == 1
+
+    def test_private_conversation_helper(self):
+        assert is_private_conversation("192.168.1.5", "10.0.0.9")
+        assert not is_private_conversation("192.168.1.5", "8.8.8.8")
+        assert not is_private_conversation("bogus", "10.0.0.9")
+
+
+class TestOuiRegistry:
+    def test_known_vendor_lookup(self):
+        assert DEFAULT_OUI_REGISTRY.vendor_of("00:17:88:68:5f:61") == "Philips"
+        assert DEFAULT_OUI_REGISTRY.vendor_of("9c:8e:cd:0a:33:1b") == "Amcrest"
+
+    def test_oui_string_lookup(self):
+        assert DEFAULT_OUI_REGISTRY.vendor_of("00:17:88") == "Philips"
+
+    def test_unknown_returns_none(self):
+        assert DEFAULT_OUI_REGISTRY.vendor_of("ff:ee:dd:01:02:03") is None
+
+    def test_allocation_respects_oui(self):
+        rng = random.Random(5)
+        mac = DEFAULT_OUI_REGISTRY.allocate_mac("Philips", rng)
+        assert mac.oui == "00:17:88"
+        assert DEFAULT_OUI_REGISTRY.vendor_of(mac) == "Philips"
+
+    def test_allocation_unknown_vendor_is_local(self):
+        rng = random.Random(5)
+        mac = DEFAULT_OUI_REGISTRY.allocate_mac("NoSuchVendor", rng)
+        assert mac.is_locally_administered
+
+    def test_register_new(self):
+        registry = OuiRegistry({})
+        registry.register("TestVendor", "aa:bb:cc")
+        assert registry.vendor_of("aa:bb:cc:01:02:03") == "TestVendor"
+        assert registry.ouis_of("TestVendor") == ["aa:bb:cc"]
+
+    def test_allocation_deterministic(self):
+        a = DEFAULT_OUI_REGISTRY.allocate_mac("Google", random.Random(9))
+        b = DEFAULT_OUI_REGISTRY.allocate_mac("Google", random.Random(9))
+        assert a == b

@@ -1,0 +1,201 @@
+"""Unit tests for SSDP, DHCP, CoAP, and NetBIOS codecs."""
+
+import pytest
+
+from repro.protocols.coap import CoapCode, CoapMessage, CoapType
+from repro.protocols.dhcp import DhcpMessage, DhcpMessageType, DhcpOption
+from repro.protocols.netbios import (
+    NetbiosNsQuery,
+    decode_netbios_name,
+    encode_netbios_name,
+)
+from repro.protocols.ssdp import (
+    SsdpMessage,
+    SsdpMethod,
+    ST_ALL,
+    ST_IGD,
+    ST_ROOT_DEVICE,
+    device_description_xml,
+)
+
+
+class TestSsdp:
+    def test_msearch_roundtrip(self):
+        message = SsdpMessage.msearch(ST_ALL, mx=5, user_agent="WebOS/1.5")
+        decoded = SsdpMessage.decode(message.encode())
+        assert decoded.method is SsdpMethod.MSEARCH
+        assert decoded.search_target == ST_ALL
+        assert decoded.headers["USER-AGENT"] == "WebOS/1.5"
+        assert decoded.headers["MAN"] == '"ssdp:discover"'
+
+    def test_notify_roundtrip(self):
+        message = SsdpMessage.notify(
+            location="http://192.168.10.5:49152/desc.xml",
+            notification_type=ST_ROOT_DEVICE,
+            usn="uuid:abc::upnp:rootdevice",
+            server="Linux UPnP/1.0",
+        )
+        decoded = SsdpMessage.decode(message.encode())
+        assert decoded.method is SsdpMethod.NOTIFY
+        assert decoded.location == "http://192.168.10.5:49152/desc.xml"
+        assert decoded.headers["NTS"] == "ssdp:alive"
+
+    def test_response_roundtrip(self):
+        message = SsdpMessage.response(
+            "http://x/desc.xml", ST_ROOT_DEVICE,
+            "uuid:device_3_0-AMC020SC43PJ749D66::upnp:rootdevice",
+            "Linux, UPnP/1.0, Private UPnP SDK",
+        )
+        decoded = SsdpMessage.decode(message.encode())
+        assert decoded.method is SsdpMethod.RESPONSE
+        assert decoded.uuid() == "device_3_0-AMC020SC43PJ749D66"
+        assert decoded.server == "Linux, UPnP/1.0, Private UPnP SDK"
+
+    def test_uuid_absent(self):
+        message = SsdpMessage.msearch()
+        assert message.uuid() is None
+
+    def test_rejects_non_ssdp(self):
+        with pytest.raises(ValueError):
+            SsdpMessage.decode(b"GET / HTTP/1.1\r\n\r\n")
+        with pytest.raises(ValueError):
+            SsdpMessage.decode(b"")
+
+    def test_device_description_embeds_serial(self):
+        xml = device_description_xml(
+            "Cam", "Amcrest", "AMC020", "device_3_0", serial_number="9c:8e:cd:0a:33:1b"
+        )
+        assert "<serialNumber>9c:8e:cd:0a:33:1b</serialNumber>" in xml
+        assert "<UDN>uuid:device_3_0</UDN>" in xml
+
+    def test_igd_target_constant(self):
+        assert "InternetGatewayDevice" in ST_IGD
+
+
+class TestDhcp:
+    def test_discover_roundtrip(self):
+        message = DhcpMessage.discover(
+            "50:c7:bf:01:02:03", 0xDEAD, hostname="HS110",
+            vendor_class="udhcp 1.19.4", parameter_request=[1, 3, 6, 12, 15, 69, 17],
+        )
+        decoded = DhcpMessage.decode(message.encode())
+        assert decoded.message_type is DhcpMessageType.DISCOVER
+        assert decoded.hostname == "HS110"
+        assert decoded.vendor_class == "udhcp 1.19.4"
+        # Deprecated options (SMTP 69, root path 17) survive the trip.
+        assert 69 in decoded.parameter_request_list
+        assert 17 in decoded.parameter_request_list
+
+    def test_request_roundtrip(self):
+        message = DhcpMessage.request(
+            "50:c7:bf:01:02:03", 1, requested_ip="192.168.10.50",
+            server_ip="192.168.10.1",
+        )
+        decoded = DhcpMessage.decode(message.encode())
+        assert decoded.message_type is DhcpMessageType.REQUEST
+        assert decoded.options[DhcpOption.REQUESTED_IP] == bytes([192, 168, 10, 50])
+
+    def test_reply_ack(self):
+        request = DhcpMessage.request("50:c7:bf:01:02:03", 7, "192.168.10.50", "192.168.10.1")
+        reply = DhcpMessage.reply(
+            request, DhcpMessageType.ACK, your_ip="192.168.10.50",
+            server_ip="192.168.10.1", router="192.168.10.1", dns_server="192.168.10.1",
+        )
+        decoded = DhcpMessage.decode(reply.encode())
+        assert decoded.op == 2
+        assert decoded.message_type is DhcpMessageType.ACK
+        assert decoded.your_ip == "192.168.10.50"
+        assert decoded.transaction_id == 7
+
+    def test_client_mac_preserved(self):
+        message = DhcpMessage.discover("9c:8e:cd:0a:33:1b", 1)
+        assert str(DhcpMessage.decode(message.encode()).client_mac) == "9c:8e:cd:0a:33:1b"
+
+    def test_missing_cookie_rejected(self):
+        raw = bytearray(DhcpMessage.discover("9c:8e:cd:0a:33:1b", 1).encode())
+        raw[236:240] = b"\x00\x00\x00\x00"
+        with pytest.raises(ValueError):
+            DhcpMessage.decode(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            DhcpMessage.decode(b"\x01" * 50)
+
+    def test_no_hostname(self):
+        message = DhcpMessage.discover("9c:8e:cd:0a:33:1b", 1)
+        assert DhcpMessage.decode(message.encode()).hostname is None
+
+
+class TestCoap:
+    def test_get_roundtrip(self):
+        message = CoapMessage.get("/oic/res", message_id=321)
+        decoded = CoapMessage.decode(message.encode())
+        assert decoded.code == CoapCode.GET
+        assert decoded.path == "/oic/res"
+        assert decoded.message_id == 321
+
+    def test_payload_marker(self):
+        message = CoapMessage(CoapCode.POST, 1, uri_path=["x"], payload=b"\x01\x02")
+        decoded = CoapMessage.decode(message.encode())
+        assert decoded.payload == b"\x01\x02"
+        assert decoded.path == "/x"
+
+    def test_token_roundtrip(self):
+        message = CoapMessage(CoapCode.GET, 5, token=b"\xaa\xbb")
+        assert CoapMessage.decode(message.encode()).token == b"\xaa\xbb"
+
+    def test_long_segment_extended_option(self):
+        long_segment = "a" * 20
+        message = CoapMessage.get(f"/{long_segment}")
+        assert CoapMessage.decode(message.encode()).uri_path == [long_segment]
+
+    def test_token_too_long(self):
+        with pytest.raises(ValueError):
+            CoapMessage(CoapCode.GET, 1, token=b"\x00" * 9).encode()
+
+    def test_types(self):
+        message = CoapMessage(CoapCode.GET, 1, coap_type=CoapType.NON_CONFIRMABLE)
+        assert CoapMessage.decode(message.encode()).coap_type is CoapType.NON_CONFIRMABLE
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            CoapMessage.decode(b"\x40\x01")
+
+
+class TestNetbios:
+    def test_wildcard_encoding_is_ck_string(self):
+        encoded = encode_netbios_name("*")
+        # The famous Table 5 payload: CK then 30 'A's
+        assert encoded == "CK" + "A" * 30
+
+    def test_name_roundtrip(self):
+        for name in ("*", "WORKGROUP", "MYHOST"):
+            assert decode_netbios_name(encode_netbios_name(name)) == name.upper() if name != "*" else "*"
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            decode_netbios_name("CKAA")
+
+    def test_decode_rejects_bad_chars(self):
+        with pytest.raises(ValueError):
+            decode_netbios_name("Z" * 32)
+
+    def test_query_roundtrip(self):
+        query = NetbiosNsQuery()
+        decoded = NetbiosNsQuery.decode(query.encode())
+        assert decoded.name == "*"
+        assert decoded.is_wildcard_status_query
+
+    def test_query_wire_contains_ck_prefix(self):
+        wire = NetbiosNsQuery().encode()
+        assert b"CKAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA" in wire
+
+    def test_non_wildcard_query(self):
+        query = NetbiosNsQuery(name="FILESRV", qtype=0x0020)
+        decoded = NetbiosNsQuery.decode(query.encode())
+        assert decoded.name == "FILESRV"
+        assert not decoded.is_wildcard_status_query
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            NetbiosNsQuery.decode(b"\x00\x01")

@@ -1,0 +1,191 @@
+"""Unit tests for the DNS wire codec and mDNS helpers."""
+
+import pytest
+
+from repro.protocols.dns import (
+    CLASS_IN,
+    DnsMessage,
+    DnsQuestion,
+    DnsRecord,
+    DnsType,
+    decode_name,
+    encode_name,
+)
+from repro.protocols.mdns import (
+    ServiceAdvertisement,
+    hue_instance_name,
+    mdns_query,
+    mdns_response,
+    reverse_v6_name,
+    spotify_connect_path,
+)
+
+
+class TestNameCodec:
+    def test_simple_roundtrip(self):
+        wire = encode_name("device.local")
+        name, offset = decode_name(wire, 0)
+        assert name == "device.local"
+        assert offset == len(wire)
+
+    def test_root_name(self):
+        assert encode_name("") == b"\x00"
+        assert decode_name(b"\x00", 0) == ("", 1)
+
+    def test_compression_pointer(self):
+        compression = {}
+        first = encode_name("a.example.local", compression, 0)
+        second = encode_name("b.example.local", compression, len(first))
+        # second should reuse "example.local" via a pointer -> shorter
+        assert len(second) < len(encode_name("b.example.local"))
+        blob = first + second
+        name, _ = decode_name(blob, len(first))
+        assert name == "b.example.local"
+
+    def test_pointer_loop_detected(self):
+        # A pointer pointing at itself must not hang.
+        blob = b"\xc0\x00"
+        with pytest.raises(ValueError):
+            decode_name(blob, 0)
+
+    def test_label_too_long(self):
+        with pytest.raises(ValueError):
+            encode_name("x" * 64 + ".local")
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            decode_name(b"\x05ab", 0)
+
+
+class TestRecords:
+    def test_a_record(self):
+        record = DnsRecord.a("host.local", "192.168.10.5")
+        assert record.address() == "192.168.10.5"
+        assert record.cache_flush
+
+    def test_aaaa_record(self):
+        record = DnsRecord.aaaa("host.local", "fe80::1")
+        assert record.address() == "fe80::1"
+
+    def test_ptr_record(self):
+        record = DnsRecord.ptr("_hue._tcp.local", "Philips Hue - 685F61._hue._tcp.local")
+        assert record.ptr_target() == "Philips Hue - 685F61._hue._tcp.local"
+
+    def test_txt_record_roundtrip(self):
+        record = DnsRecord.txt("x.local", {"bridgeid": "001788FFFE685F61", "modelid": "BSB002"})
+        entries = record.txt_entries()
+        assert entries["bridgeid"] == "001788FFFE685F61"
+        assert entries["modelid"] == "BSB002"
+
+    def test_empty_txt(self):
+        record = DnsRecord.txt("x.local", {})
+        assert record.txt_entries() == {}
+
+    def test_srv_record(self):
+        record = DnsRecord.srv("instance._hue._tcp.local", "hub.local", 443)
+        assert record.srv_target() == ("hub.local", 443)
+
+    def test_address_on_wrong_type(self):
+        assert DnsRecord.ptr("a", "b").address() is None
+        assert DnsRecord.a("a", "1.2.3.4").ptr_target() is None
+
+
+class TestMessage:
+    def test_query_roundtrip(self):
+        message = DnsMessage(transaction_id=99)
+        message.questions.append(DnsQuestion("_googlecast._tcp.local", DnsType.PTR))
+        decoded = DnsMessage.decode(message.encode())
+        assert decoded.transaction_id == 99
+        assert not decoded.is_response
+        assert decoded.questions[0].name == "_googlecast._tcp.local"
+        assert decoded.questions[0].qtype == DnsType.PTR
+
+    def test_qu_bit_roundtrip(self):
+        message = DnsMessage()
+        message.questions.append(DnsQuestion("x.local", DnsType.ANY, unicast_response=True))
+        decoded = DnsMessage.decode(message.encode())
+        assert decoded.questions[0].unicast_response
+        assert decoded.questions[0].qclass == CLASS_IN
+
+    def test_response_with_all_sections(self):
+        message = DnsMessage(is_response=True, authoritative=True)
+        message.answers.append(DnsRecord.ptr("_s._tcp.local", "i._s._tcp.local"))
+        message.authorities.append(DnsRecord.a("ns.local", "192.168.10.1"))
+        message.additionals.append(DnsRecord.a("i.local", "192.168.10.2"))
+        decoded = DnsMessage.decode(message.encode())
+        assert decoded.is_response and decoded.authoritative
+        assert len(decoded.answers) == 1
+        assert len(decoded.authorities) == 1
+        assert len(decoded.additionals) == 1
+
+    def test_compressed_encoding_smaller(self):
+        message = DnsMessage(is_response=True)
+        for index in range(5):
+            message.answers.append(
+                DnsRecord.ptr("_hue._tcp.local", f"instance-{index}._hue._tcp.local")
+            )
+        assert len(message.encode(compress=True)) < len(message.encode(compress=False))
+
+    def test_compressed_ptr_rdata_decodes(self):
+        message = DnsMessage(is_response=True)
+        message.answers.append(DnsRecord.ptr("_hue._tcp.local", "bridge._hue._tcp.local"))
+        decoded = DnsMessage.decode(message.encode(compress=True))
+        assert decoded.answers[0].ptr_target() == "bridge._hue._tcp.local"
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            DnsMessage.decode(b"\x00\x01")
+
+
+class TestServiceAdvertisement:
+    def _advert(self):
+        return ServiceAdvertisement(
+            service_type="_hue._tcp.local",
+            instance_name="Philips Hue - 685F61",
+            hostname="Philips-hue.local",
+            port=443,
+            address="192.168.10.12",
+            txt={"bridgeid": "001788FFFE685F61"},
+            address_v6="fe80::217:88ff:fe68:5f61",
+        )
+
+    def test_roundtrip(self):
+        message = self._advert().to_response()
+        parsed = ServiceAdvertisement.from_response(DnsMessage.decode(message.encode()))
+        assert len(parsed) == 1
+        advert = parsed[0]
+        assert advert.instance_name == "Philips Hue - 685F61"
+        assert advert.hostname == "Philips-hue.local"
+        assert advert.port == 443
+        assert advert.address == "192.168.10.12"
+        assert advert.address_v6 == "fe80::217:88ff:fe68:5f61"
+
+    def test_merged_response(self):
+        adverts = [self._advert(), ServiceAdvertisement(
+            "_airplay._tcp.local", "Apple TV", "appletv.local", 7000, "192.168.10.13")]
+        message = mdns_response(adverts)
+        parsed = ServiceAdvertisement.from_response(DnsMessage.decode(message.encode()))
+        assert {advert.service_type for advert in parsed} == {
+            "_hue._tcp.local", "_airplay._tcp.local"
+        }
+
+    def test_query_builder(self):
+        message = mdns_query(["_a._tcp.local", "_b._tcp.local"], unicast_response=True)
+        assert len(message.questions) == 2
+        assert all(question.unicast_response for question in message.questions)
+
+
+class TestNamingSchemes:
+    def test_hue_instance_embeds_mac_suffix(self):
+        assert hue_instance_name("00:17:88:68:5f:61") == "Philips Hue - 685F61"
+
+    def test_spotify_zeroconf_path(self):
+        path = spotify_connect_path("00:17:88:68:5f:61", "dev42", "session-uuid")
+        assert "001788685f61" in path
+        assert "dev42" in path and "session-uuid" in path
+
+    def test_reverse_v6_name_contains_mac_nibbles(self):
+        name = reverse_v6_name("00:17:88:68:5f:61")
+        assert name.endswith(".ip6.arpa")
+        # The Table 5 example: nibbles of the EUI-64 in reverse.
+        assert name.startswith("1.6.F.5.8.6.E.F.F.F.8.8.7.1.2.0")

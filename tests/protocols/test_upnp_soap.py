@@ -1,0 +1,76 @@
+"""Tests for UPnP SOAP control (the HTTP.SOAP surface of §5.2)."""
+
+import pytest
+
+from repro.protocols.http import HttpRequest
+from repro.protocols.upnp_soap import (
+    AVTRANSPORT,
+    SoapAction,
+    extract_media_url,
+    play,
+    set_av_transport_uri,
+)
+
+
+class TestSoapCodec:
+    def test_request_roundtrip(self):
+        action = set_av_transport_uri("http://media.example/show.mp4")
+        request = action.to_http_request()
+        assert request.is_soap
+        assert request.headers["SOAPACTION"] == f'"{AVTRANSPORT}#SetAVTransportURI"'
+        decoded = SoapAction.from_http(request)
+        assert decoded.action == "SetAVTransportURI"
+        assert decoded.arguments["CurrentURI"] == "http://media.example/show.mp4"
+        assert not decoded.is_response
+
+    def test_response_roundtrip(self):
+        response = play().to_http_response()
+        decoded = SoapAction.from_http(response)
+        assert decoded.is_response
+        assert decoded.action == "Play"
+        assert decoded.arguments["Speed"] == "1"
+
+    def test_non_soap_rejected(self):
+        request = HttpRequest("POST", "/x", body=b"just text")
+        with pytest.raises(ValueError):
+            SoapAction.from_http(request)
+
+    def test_extract_media_url(self):
+        request = set_av_transport_uri("http://cdn.example/movie.mp4").to_http_request()
+        assert extract_media_url(request) == "http://cdn.example/movie.mp4"
+
+    def test_extract_none_for_other_actions(self):
+        assert extract_media_url(play().to_http_request()) is None
+        assert extract_media_url(HttpRequest("GET", "/")) is None
+
+
+class TestCastingInteraction:
+    def test_cast_carries_media_url_on_wire(self):
+        from repro.devices.behaviors import build_testbed
+        from repro.devices.catalog import build_catalog
+        from repro.devices.interactions import Action, InteractionRunner
+
+        profiles = [p for p in build_catalog()
+                    if p.name in ("lg-tv-1", "amazon-echo-spot-1")]
+        testbed = build_testbed(seed=41, profiles=profiles)
+        testbed.run(5.0)
+        runner = InteractionRunner(testbed)
+        for _ in range(8):
+            runner.run(1, gap=0.5)
+        casts = [r for r in runner.records
+                 if r.action is Action.CAST_MEDIA and r.target == "lg-tv-1"]
+        assert casts
+        packets = runner.traffic_during(casts[0])
+        media_urls = []
+        for packet in packets:
+            if packet.tcp is None or not packet.tcp.payload.startswith(b"POST"):
+                continue
+            try:
+                request = HttpRequest.decode(packet.tcp.payload)
+            except ValueError:
+                continue
+            url = extract_media_url(request)
+            if url:
+                media_urls.append(url)
+        # The §5.2 privacy point: the watched content is on the wire.
+        assert media_urls and media_urls[0].startswith("http://media.example/")

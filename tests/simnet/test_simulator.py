@@ -1,0 +1,120 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.simnet.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        executed = sim.run(until=5.0)
+        assert executed == 1
+        assert fired == [1]
+        assert sim.now == 5.0  # clock advanced to the horizon
+        assert sim.pending == 1
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending == 6
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event_id = sim.schedule(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        sim.cancel(event_id)
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "nested"]
+        assert sim.now == 2.0
+
+
+class TestPeriodic:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(10.0, lambda: times.append(sim.now))
+        sim.run(until=35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_first_delay(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(10.0, lambda: times.append(sim.now), first_delay=3.0)
+        sim.run(until=25.0)
+        assert times == [3.0, 13.0, 23.0]
+
+    def test_until_bound(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(5.0, lambda: times.append(sim.now), until=12.0)
+        sim.run(until=100.0)
+        assert times == [5.0, 10.0]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+    def test_determinism(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            sim.schedule_periodic(7.0, lambda: log.append(("a", sim.now)))
+            sim.schedule_periodic(11.0, lambda: log.append(("b", sim.now)))
+            sim.run(until=100.0)
+            return log
+
+        assert run_once() == run_once()

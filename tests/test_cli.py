@@ -1,0 +1,86 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("study", "classify", "scan", "fingerprint", "catalog", "capture"):
+            args = parser.parse_args(
+                [command] + (["x.pcap"] if command == "classify" else [])
+                + (["/tmp/x"] if command == "capture" else [])
+            )
+            assert args.command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.seed == 7 and args.duration == 900.0
+
+
+class TestCatalog:
+    def test_prints_table3(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "Voice Assistant" in out
+        assert "Amazon (17)" in out
+
+    def test_verbose_lists_devices(self, capsys):
+        assert main(["catalog", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "philips-hue-hub-1" in out
+        assert "Geolocation" in out  # TP-Link exposure column
+
+
+class TestClassify:
+    def test_classifies_pcap(self, tmp_path, capsys, mini_testbed):
+        mini_testbed.run(120.0)
+        path = tmp_path / "lab.pcap"
+        mini_testbed.lan.capture.write_pcap(path)
+        assert main(["classify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mDNS" in out and "packets" in out
+
+    def test_crossval_flag(self, tmp_path, capsys, mini_testbed):
+        mini_testbed.run(60.0)
+        path = tmp_path / "lab.pcap"
+        mini_testbed.lan.capture.write_pcap(path)
+        assert main(["classify", str(path), "--crossval"]) == 0
+        assert "cross-validation" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["classify", str(tmp_path / "nope.pcap")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_non_pcap_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "garbage.pcap"
+        path.write_bytes(b"this is not a capture file at all")
+        assert main(["classify", str(path)]) == 1
+
+    def test_empty_pcap_fails_cleanly(self, tmp_path, capsys):
+        from repro.net.pcap import write_pcap
+
+        path = tmp_path / "empty.pcap"
+        write_pcap(path, [])
+        assert main(["classify", str(path)]) == 1
+
+
+class TestFingerprint:
+    def test_unknown_mitigation(self, capsys):
+        assert main(["fingerprint", "--mitigation", "wishful_thinking"]) == 1
+        assert "unknown mitigation" in capsys.readouterr().err
+
+
+class TestCapture:
+    def test_writes_pcaps(self, tmp_path, capsys):
+        assert main(["capture", str(tmp_path), "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "lab.pcap" in out
+        assert (tmp_path / "lab.pcap").exists()
+        assert list((tmp_path / "per-mac").glob("*.pcap"))

@@ -1,0 +1,99 @@
+"""Unit tests for small supporting modules (services, profiles, labels)."""
+
+import pytest
+
+from repro.classify.labels import DISCOVERY_LABELS, Label, MANAGEMENT_LABELS
+from repro.devices.profiles import (
+    DeviceProfile,
+    DhcpConfig,
+    HostnameScheme,
+    MdnsConfig,
+    SsdpConfig,
+)
+from repro.simnet.services import ServiceInfo, ServiceTable
+
+
+class TestServiceTable:
+    def test_add_and_lookup(self):
+        table = ServiceTable([ServiceInfo(80, "tcp", "http")])
+        assert table.is_open("tcp", 80)
+        assert not table.is_open("udp", 80)
+        assert table.get("tcp", 80).protocol == "http"
+        assert table.get("tcp", 81) is None
+
+    def test_open_ports_sorted(self):
+        table = ServiceTable([
+            ServiceInfo(443, "tcp", "https"),
+            ServiceInfo(80, "tcp", "http"),
+            ServiceInfo(53, "udp", "dns"),
+        ])
+        assert table.open_ports("tcp") == [80, 443]
+        assert table.open_ports("udp") == [53]
+
+    def test_replacement_on_same_key(self):
+        table = ServiceTable()
+        table.add(ServiceInfo(80, "tcp", "http", software="old"))
+        table.add(ServiceInfo(80, "tcp", "http", software="new"))
+        assert len(table) == 1
+        assert table.get("tcp", 80).software == "new"
+
+    def test_services_property_ordering(self):
+        table = ServiceTable([
+            ServiceInfo(9999, "udp", "x"),
+            ServiceInfo(80, "tcp", "http"),
+        ])
+        kinds = [(service.transport, service.port) for service in table.services]
+        assert kinds == [("tcp", 80), ("udp", 9999)]
+
+
+class TestDeviceProfile:
+    def _profile(self, **kwargs):
+        defaults = dict(name="x", vendor="V", model="M", category="Home Automation")
+        defaults.update(kwargs)
+        return DeviceProfile(**defaults)
+
+    def test_display_name_defaults_to_model(self):
+        assert self._profile().display_name == "M"
+
+    def test_uses_mdns_ssdp_flags(self):
+        profile = self._profile(mdns=MdnsConfig(), ssdp=SsdpConfig())
+        assert profile.uses_mdns and profile.uses_ssdp
+        assert not self._profile().uses_mdns
+
+    def test_exposure_always_includes_mac(self):
+        assert "MAC" in self._profile().exposed_identifier_types()
+
+    def test_display_name_scheme_exposure(self):
+        profile = self._profile(
+            dhcp=DhcpConfig(hostname_scheme=HostnameScheme.USER_DISPLAY_NAME)
+        )
+        exposed = profile.exposed_identifier_types()
+        assert "Display name" in exposed
+        assert "Device/Model" not in exposed
+
+    def test_randomized_scheme_minimizes_exposure(self):
+        profile = self._profile(dhcp=DhcpConfig(hostname_scheme=HostnameScheme.RANDOMIZED))
+        assert "Device/Model" not in profile.exposed_identifier_types()
+
+    def test_ssdp_responder_exposes_uuid_and_os(self):
+        profile = self._profile(ssdp=SsdpConfig(respond=True, server_header="Linux UPnP/1.0"))
+        exposed = profile.exposed_identifier_types()
+        assert "UUIDs" in exposed and "OS Version" in exposed
+
+
+class TestLabels:
+    def test_discovery_and_management_overlap(self):
+        # ARP and DHCP are both discovery-relevant and management.
+        assert Label.ARP in DISCOVERY_LABELS and Label.ARP in MANAGEMENT_LABELS
+
+    def test_string_rendering(self):
+        assert f"{Label.TPLINK_SHP}" == "TPLINK_SHP"
+        assert str(Label.MDNS) == "mDNS"
+
+    def test_artifact_labels_not_discovery(self):
+        assert Label.CISCOVPN not in DISCOVERY_LABELS
+        assert Label.AMAZON_AWS not in DISCOVERY_LABELS
+
+    def test_all_values_unique(self):
+        values = [label.value for label in Label]
+        assert len(values) == len(set(values))

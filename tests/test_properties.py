@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) on codecs and core invariants."""
+
+import ipaddress
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.arp import ArpOp, ArpPacket
+from repro.net.decode import decode_frame
+from repro.net.ether import EthernetFrame, EtherType
+from repro.net.flows import assemble_flows
+from repro.net.ipv4 import Ipv4Packet, internet_checksum
+from repro.net.ipv6 import Ipv6Packet, link_local_from_mac
+from repro.net.mac import MacAddress
+from repro.net.tcp import TcpFlags, TcpSegment
+from repro.net.udp import UdpDatagram
+from repro.protocols.coap import CoapCode, CoapMessage
+from repro.protocols.dns import DnsMessage, DnsQuestion, DnsRecord, DnsType, decode_name, encode_name
+from repro.protocols.netbios import decode_netbios_name, encode_netbios_name
+from repro.protocols.tplink_shp import tplink_decrypt, tplink_encrypt
+from repro.protocols.tuyalp import TuyaLpMessage
+
+settings.register_profile(
+    "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=60
+)
+settings.load_profile("repro")
+
+macs = st.binary(min_size=6, max_size=6).map(MacAddress)
+ports = st.integers(min_value=0, max_value=65535)
+ipv4s = st.integers(min_value=0, max_value=2**32 - 1).map(
+    lambda value: str(ipaddress.IPv4Address(value))
+)
+payloads = st.binary(min_size=0, max_size=256)
+
+LABEL_ALPHABET = string.ascii_lowercase + string.digits + "-_"
+dns_labels = st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=20)
+dns_names = st.lists(dns_labels, min_size=1, max_size=5).map(".".join)
+
+
+class TestMacProperties:
+    @given(macs)
+    def test_string_roundtrip(self, mac):
+        assert MacAddress(str(mac)) == mac
+
+    @given(macs)
+    def test_compact_roundtrip(self, mac):
+        assert MacAddress(mac.compact()) == mac
+
+    @given(macs)
+    def test_oui_plus_suffix_is_whole(self, mac):
+        rebuilt = MacAddress(mac.oui.replace(":", "") + mac.nic_suffix.replace(":", ""))
+        assert rebuilt == mac
+
+
+class TestChecksumProperties:
+    @given(payloads)
+    def test_checksum_of_checksummed_ipv4_is_zero(self, payload):
+        packet = Ipv4Packet("10.0.0.1", "10.0.0.2", 17, payload)
+        assert internet_checksum(packet.encode()[:20]) == 0
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_checksum_bounded(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestFrameProperties:
+    @given(macs, macs, payloads)
+    def test_ethernet_roundtrip(self, dst, src, payload):
+        frame = EthernetFrame(dst, src, EtherType.IPV4, payload)
+        decoded = EthernetFrame.decode(frame.encode())
+        assert (decoded.dst, decoded.src, decoded.payload) == (dst, src, payload)
+
+    @given(macs, ipv4s, macs, ipv4s, st.sampled_from(list(ArpOp)))
+    def test_arp_roundtrip(self, smac, sip, tmac, tip, op):
+        packet = ArpPacket(op, smac, sip, tmac, tip)
+        decoded = ArpPacket.decode(packet.encode())
+        assert decoded == packet
+
+    @given(ipv4s, ipv4s, st.integers(min_value=0, max_value=255), payloads)
+    def test_ipv4_roundtrip(self, src, dst, protocol, payload):
+        packet = Ipv4Packet(src, dst, protocol, payload)
+        decoded = Ipv4Packet.decode(packet.encode(), verify_checksum=True)
+        assert (decoded.src, decoded.dst, decoded.protocol, decoded.payload) == (
+            src, dst, protocol, payload,
+        )
+
+    @given(ports, ports, payloads)
+    def test_udp_roundtrip(self, sport, dport, payload):
+        datagram = UdpDatagram(sport, dport, payload)
+        decoded = UdpDatagram.decode(datagram.encode())
+        assert (decoded.src_port, decoded.dst_port, decoded.payload) == (sport, dport, payload)
+
+    @given(ports, ports, st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1), payloads)
+    def test_tcp_roundtrip(self, sport, dport, seq, ack, payload):
+        segment = TcpSegment(sport, dport, seq=seq, ack=ack,
+                             flags=TcpFlags.ACK | TcpFlags.PSH, payload=payload)
+        decoded = TcpSegment.decode(segment.encode())
+        assert decoded.seq == seq and decoded.ack == ack and decoded.payload == payload
+
+    @given(macs)
+    def test_link_local_embeds_recoverable_mac(self, mac):
+        address = ipaddress.IPv6Address(link_local_from_mac(mac))
+        eui = address.packed[8:]
+        assert eui[3:5] == b"\xff\xfe"
+        recovered = bytes([eui[0] ^ 0x02]) + eui[1:3] + eui[5:]
+        assert MacAddress(recovered) == mac
+
+
+class TestDnsProperties:
+    @given(dns_names)
+    def test_name_roundtrip(self, name):
+        wire = encode_name(name)
+        decoded, offset = decode_name(wire, 0)
+        assert decoded == name
+        assert offset == len(wire)
+
+    @given(st.lists(dns_names, min_size=1, max_size=4))
+    def test_question_roundtrip(self, names):
+        message = DnsMessage()
+        for name in names:
+            message.questions.append(DnsQuestion(name, DnsType.PTR))
+        decoded = DnsMessage.decode(message.encode())
+        assert [question.name for question in decoded.questions] == names
+
+    @given(dns_names, dns_names)
+    def test_compression_never_changes_meaning(self, first, second):
+        message = DnsMessage(is_response=True)
+        message.answers.append(DnsRecord.ptr(first, f"{second}.{first}"))
+        message.answers.append(DnsRecord.ptr(first, f"x.{first}"))
+        compressed = DnsMessage.decode(message.encode(compress=True))
+        uncompressed = DnsMessage.decode(message.encode(compress=False))
+        assert [record.ptr_target() for record in compressed.answers] == [
+            record.ptr_target() for record in uncompressed.answers
+        ]
+
+    @given(st.dictionaries(
+        st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=10),
+        st.text(alphabet=LABEL_ALPHABET, min_size=0, max_size=20),
+        max_size=6,
+    ))
+    def test_txt_roundtrip(self, entries):
+        record = DnsRecord.txt("x.local", entries)
+        assert record.txt_entries() == entries
+
+
+class TestProprietaryProperties:
+    @given(st.binary(min_size=0, max_size=512))
+    def test_tplink_xor_involution(self, data):
+        assert tplink_decrypt(tplink_encrypt(data)) == data
+
+    @given(st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=24),
+           st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=24),
+           st.booleans())
+    def test_tuyalp_roundtrip(self, gw_id, product_key, encrypted):
+        message = TuyaLpMessage.discovery(gw_id, product_key, "192.168.1.2",
+                                          encrypted=encrypted)
+        decoded = TuyaLpMessage.decode(message.encode())
+        assert decoded.gw_id == gw_id
+        assert decoded.product_key == product_key
+        assert decoded.encrypted == encrypted
+
+    @given(st.text(alphabet=string.ascii_uppercase + string.digits, min_size=1, max_size=15))
+    def test_netbios_name_roundtrip(self, name):
+        assert decode_netbios_name(encode_netbios_name(name)) == name
+
+    @given(st.lists(st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=30),
+                    min_size=0, max_size=4),
+           st.binary(max_size=64))
+    def test_coap_roundtrip(self, segments, payload):
+        message = CoapMessage(CoapCode.GET, 1, uri_path=segments, payload=payload)
+        decoded = CoapMessage.decode(message.encode())
+        assert decoded.uri_path == segments
+        assert decoded.payload == payload
+
+
+class TestDecodeTotality:
+    @given(macs, macs, st.sampled_from([0x0800, 0x0806, 0x86DD, 0x888E, 0x0101]), payloads)
+    def test_decode_never_raises(self, dst, src, ethertype, payload):
+        """decode_frame is total over syntactically valid Ethernet."""
+        frame = EthernetFrame(dst, src, ethertype, payload)
+        packet = decode_frame(frame.encode())
+        assert packet.frame.src == src
+
+    @given(st.lists(
+        st.tuples(ipv4s, ports, ipv4s, ports, payloads), min_size=0, max_size=20,
+    ))
+    def test_flow_assembly_conserves_packets(self, descriptions):
+        packets = []
+        for index, (sip, sport, dip, dport, payload) in enumerate(descriptions):
+            datagram = UdpDatagram(sport, dport, payload)
+            ip_packet = Ipv4Packet(sip, dip, 17, datagram.encode())
+            frame = EthernetFrame("02:00:00:00:00:02", "02:00:00:00:00:01",
+                                  EtherType.IPV4, ip_packet.encode())
+            packets.append(decode_frame(frame.encode(), float(index)))
+        table = assemble_flows(packets)
+        total_in_flows = sum(flow.packet_count for flow in table)
+        assert total_in_flows + len(table.non_flow_packets) == len(packets)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=0, max_size=50))
+    def test_detect_period_total(self, timestamps):
+        from repro.core.periodicity import detect_period
+
+        ok, period, dft, autocorr = detect_period(timestamps)
+        assert isinstance(ok, bool)
+        assert 0.0 <= dft <= 1.0 + 1e-9
+        assert -1.0 - 1e-9 <= autocorr <= 1.0 + 1e-9
+
+
+class TestEntropyProperties:
+    @given(st.sets(st.uuids().map(str), min_size=0, max_size=30))
+    def test_uuid_extraction_complete(self, uuids):
+        from repro.inspector.entropy import extract_uuids
+
+        text = " | ".join(f"USN: uuid:{value}::rootdevice" for value in uuids)
+        assert extract_uuids(text) == {value.lower() for value in uuids}
+
+    @given(macs)
+    def test_mac_extraction_finds_planted(self, mac):
+        from repro.inspector.entropy import extract_macs
+
+        text = f"serialNumber: {mac}"
+        assert str(mac) in extract_macs(text, mac.oui)
+
+
+class TestNewCodecProperties:
+    @given(st.text(alphabet=LABEL_ALPHABET + "/:.", min_size=1, max_size=40),
+           st.integers(1, 9999))
+    def test_rtsp_request_roundtrip(self, path, cseq):
+        from repro.protocols.rtsp import RtspRequest
+
+        request = RtspRequest("DESCRIBE", f"rtsp://host/{path}", cseq=cseq)
+        decoded = RtspRequest.decode(request.encode())
+        assert decoded.url == f"rtsp://host/{path}"
+        assert decoded.cseq == cseq
+
+    @given(macs, st.integers(0, 0xFFFFFF))
+    def test_dhcpv6_solicit_roundtrip(self, mac, txid):
+        from repro.protocols.dhcpv6 import Dhcpv6Message
+
+        message = Dhcpv6Message.solicit(mac, txid)
+        decoded = Dhcpv6Message.decode(message.encode())
+        assert decoded.transaction_id == txid
+        assert decoded.client_mac == mac
+
+    @given(st.text(alphabet=LABEL_ALPHABET + "/:.", min_size=1, max_size=60))
+    def test_soap_media_url_roundtrip(self, path):
+        from repro.protocols.upnp_soap import extract_media_url, set_av_transport_uri
+
+        url = f"http://cdn/{path}"
+        request = set_av_transport_uri(url).to_http_request()
+        assert extract_media_url(request) == url
+
+    @given(st.binary(min_size=0, max_size=40))
+    def test_llc_roundtrip(self, information):
+        from repro.net.llc import LlcFrame
+
+        frame = LlcFrame(0xAA, 0xAA, 0x03, information)
+        decoded = LlcFrame.decode(frame.encode())
+        assert decoded.information == information
