@@ -4,9 +4,19 @@ The lab run compresses the paper's multi-day capture into 40 simulated
 minutes (every periodic behaviour fires many times; daily behaviours
 fire once early).  Each bench prints the paper's reported value next to
 the measured one via :func:`repro.report.tables.render_comparison`.
+
+Every heavy stage (testbed build, passive run, decode, scan sweep, app
+runs, inspector dataset) is wall-clock timed into ``STAGE_TIMINGS``;
+when pytest-benchmark writes a JSON report (``--benchmark-json``), the
+timings are attached under ``stage_timings`` so the perf trajectory is
+stage-resolved, not a single end-to-end number.
 """
 
 from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
 
 import pytest
 
@@ -18,13 +28,30 @@ from repro.scan.portscan import PortScanner
 
 PASSIVE_DURATION = 2400.0  # simulated seconds
 
+#: Wall-clock seconds per fixture stage, attached to the bench JSON.
+STAGE_TIMINGS: Dict[str, float] = {}
+
+
+@contextmanager
+def _timed_stage(name: str):
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        STAGE_TIMINGS[name] = STAGE_TIMINGS.get(name, 0.0) + (
+            time.perf_counter() - started
+        )
+
 
 @pytest.fixture(scope="session")
 def lab_run():
     """(testbed, decoded_packets, device_maps) after the passive phase."""
-    testbed = build_testbed(seed=7)
-    testbed.run(PASSIVE_DURATION)
-    packets = testbed.lan.capture.decoded()
+    with _timed_stage("testbed_build"):
+        testbed = build_testbed(seed=7)
+    with _timed_stage("passive_run"):
+        testbed.run(PASSIVE_DURATION)
+    with _timed_stage("capture_decode"):
+        packets = testbed.lan.capture.decoded()
     maps = {
         "macs": {str(node.mac): node.name for node in testbed.devices},
         "vendors": {node.name: node.vendor for node in testbed.devices},
@@ -41,7 +68,8 @@ def scan_report(lab_run):
     keep = testbed.lan.capture.keep_bytes
     testbed.lan.capture.keep_bytes = False
     try:
-        report = scanner.sweep(targets=testbed.devices)
+        with _timed_stage("scan_sweep"):
+            report = scanner.sweep(targets=testbed.devices)
     finally:
         testbed.lan.capture.keep_bytes = keep
         testbed.lan.detach(scanner)
@@ -58,7 +86,8 @@ def app_runs(lab_run):
     keep = testbed.lan.capture.keep_bytes
     testbed.lan.capture.keep_bytes = False
     try:
-        results = [phone.run_app(app) for app in apps]
+        with _timed_stage("app_runs"):
+            results = [phone.run_app(app) for app in apps]
     finally:
         testbed.lan.capture.keep_bytes = keep
         testbed.lan.detach(phone)
@@ -69,4 +98,10 @@ def app_runs(lab_run):
 def inspector_dataset():
     from repro.inspector.generate import generate_dataset
 
-    return generate_dataset(seed=23)
+    with _timed_stage("inspector_dataset"):
+        return generate_dataset(seed=23)
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Attach per-stage wall-clock timings to the benchmark JSON."""
+    output_json["stage_timings"] = dict(sorted(STAGE_TIMINGS.items()))

@@ -28,6 +28,7 @@ from repro.apps.android import (
 from repro.apps.appmodel import AppCategory, AppModel, Identifier, ScanProtocol
 from repro.devices.behaviors import DeviceNode
 from repro.net.decode import DecodedPacket
+from repro.obs import get_obs
 from repro.protocols.dns import DnsMessage
 from repro.protocols.mdns import MDNS_GROUP_V4, MDNS_PORT, ServiceAdvertisement, mdns_query
 from repro.protocols.netbios import NetbiosNsQuery
@@ -150,6 +151,21 @@ class InstrumentedPhone(Node):
         self._tls_to_devices(app, result)
         self._emit_cloud_flows(app, result)
         self._receive_downlink(app, result)
+        obs = get_obs()
+        if obs.enabled:
+            metrics = obs.metrics.scoped("apps")
+            metrics.counter("runs_total", "app sessions executed").inc()
+            metrics.counter(
+                "lan_packets_total", "LAN packets sent by app sessions",
+            ).inc(result.lan_packets_sent)
+            flows = metrics.counter(
+                "cloud_flows_total", "cloud flows observed, per SDK")
+            for flow in result.cloud_flows:
+                flows.inc(sdk=flow.sdk or "app-owned", direction=flow.direction)
+            obs.logger("apps").debug(
+                "app_run", package=app.package,
+                lan_packets=result.lan_packets_sent,
+                cloud_flows=len(result.cloud_flows))
         return result
 
     def _advertise_matter_commissioner(self, result: AppRunResult) -> None:

@@ -3,6 +3,7 @@
 Installed as the ``repro`` console script::
 
     repro study        [--seed N] [--duration SECONDS] [--apps N]
+                       [--metrics-out PATH] [--trace-out PATH] [--log-level LEVEL]
     repro classify     PCAP [--crossval]
     repro scan         [--seed N]
     repro fingerprint  [--seed N] [--mitigation NAME]
@@ -21,6 +22,49 @@ import sys
 from typing import List, Optional
 
 
+def _build_observability(args: argparse.Namespace):
+    """A live observability context when any ``--metrics-out`` /
+    ``--trace-out`` / ``--log-level`` flag was given, else the null one."""
+    from repro.obs import NULL_OBS, enable_observability
+
+    wanted = getattr(args, "metrics_out", None) or getattr(args, "trace_out", None) \
+        or getattr(args, "log_level", None)
+    if not wanted:
+        return NULL_OBS
+    return enable_observability(log_level=args.log_level)
+
+
+def _check_output_paths(args: argparse.Namespace) -> Optional[str]:
+    """Validate telemetry output paths *before* the (long) run starts.
+
+    Returns an error message, or ``None`` when both paths are writable.
+    """
+    import os
+
+    for flag in ("metrics_out", "trace_out"):
+        path = getattr(args, flag, None)
+        if not path:
+            continue
+        parent = os.path.dirname(os.path.abspath(path))
+        if not os.path.isdir(parent):
+            return f"--{flag.replace('_', '-')}: directory does not exist: {parent}"
+        if not os.access(parent, os.W_OK):
+            return f"--{flag.replace('_', '-')}: directory is not writable: {parent}"
+    return None
+
+
+def _write_observability_outputs(obs, args: argparse.Namespace) -> None:
+    import json
+
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(obs.metrics.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if getattr(args, "trace_out", None):
+        obs.tracer.write_chrome_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.core.pipeline import StudyPipeline
     from repro.report.tables import (
@@ -31,13 +75,20 @@ def _cmd_study(args: argparse.Namespace) -> int:
         render_table4,
     )
 
+    error = _check_output_paths(args)
+    if error:
+        print(f"repro study: error: {error}", file=sys.stderr)
+        return 2
+    obs = _build_observability(args)
     pipeline = StudyPipeline(
         seed=args.seed,
         passive_duration=args.duration,
         app_sample_size=args.apps,
         include_crowdsourced=args.crowdsourced,
+        obs=obs,
     )
     report = pipeline.run()
+    _write_observability_outputs(obs, args)
     summary = report.device_graph.summary()
     print(render_comparison([
         ("devices communicating locally (Fig. 1)", "43/93",
@@ -200,6 +251,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="app sample size (2335 = the full dataset)")
     study.add_argument("--crowdsourced", action="store_true",
                        help="also run the Table 2 crowdsourced analysis")
+    study.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write a JSON metrics snapshot after the run")
+    study.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a Chrome trace_event file (chrome://tracing)")
+    study.add_argument("--log-level", default=None,
+                       choices=["debug", "info", "warning", "error"],
+                       help="enable structured logging at this level "
+                            "(per-subsystem overrides via REPRO_LOG=sim=debug,...)")
     study.set_defaults(func=_cmd_study)
 
     classify = sub.add_parser("classify", help="classify any classic-pcap capture")

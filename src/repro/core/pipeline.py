@@ -9,6 +9,8 @@ sample of the app dataset on the instrumented phone, and produces a
 from __future__ import annotations
 
 import random
+import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -33,6 +35,7 @@ from repro.core.responses import (
 )
 from repro.core.threat_report import ThreatReport, build_threat_report
 from repro.devices.behaviors import Testbed, build_testbed
+from repro.obs import NULL_OBS, Observability, use_obs
 from repro.honeypot.farm import HoneypotFarm
 from repro.scan.portscan import PortScanner, ScanReport
 from repro.scan.vulnscan import VulnerabilityScanner
@@ -54,10 +57,23 @@ class StudyReport:
     fingerprint: Optional[FingerprintReport] = None
     honeypot_contacts: int = 0
     capture_packets: int = 0
+    #: Populated when the pipeline runs with observability enabled:
+    #: ``{"stages": {...}, "metrics": {...}, "spans": [...]}``.
+    telemetry: Optional[Dict[str, object]] = None
 
 
 class StudyPipeline:
-    """Orchestrates the full reproduction study."""
+    """Orchestrates the full reproduction study.
+
+    With an :class:`~repro.obs.Observability` context passed as ``obs``,
+    every stage in :data:`STAGES` runs inside a tracer span (sim + wall
+    time), stage durations land in the ``pipeline_stage_seconds``
+    histogram, artifact counts in ``pipeline_artifacts_total``, and the
+    finished :class:`StudyReport` carries a ``telemetry`` snapshot.
+    """
+
+    #: One span (and one ``pipeline_stage_seconds`` sample) per entry.
+    STAGES = ("build", "passive_capture", "scans", "apps", "vulnscan", "analysis")
 
     def __init__(
         self,
@@ -66,12 +82,14 @@ class StudyPipeline:
         app_sample_size: int = 40,
         deploy_honeypots: bool = True,
         include_crowdsourced: bool = False,
+        obs: Optional[Observability] = None,
     ):
         self.seed = seed
         self.passive_duration = passive_duration
         self.app_sample_size = app_sample_size
         self.deploy_honeypots = deploy_honeypots
         self.include_crowdsourced = include_crowdsourced
+        self.obs = obs if obs is not None else NULL_OBS
         self.testbed: Optional[Testbed] = None
         self.farm: Optional[HoneypotFarm] = None
 
@@ -81,6 +99,9 @@ class StudyPipeline:
         self.testbed = build_testbed(seed=self.seed)
         if self.deploy_honeypots:
             self.farm = HoneypotFarm.deploy(self.testbed.lan)
+        if self.obs.enabled:
+            simulator = self.testbed.simulator
+            self.obs.set_sim_clock(lambda: simulator.now)
         return self.testbed
 
     def collect_passive(self) -> int:
@@ -133,38 +154,126 @@ class StudyPipeline:
             self.testbed.lan.detach(phone)
         return results
 
+    # -- observability helpers ---------------------------------------------------------
+
+    def _stage(self, stack: ExitStack, name: str):
+        """Open the tracer span + stage timer for one pipeline stage."""
+        obs = self.obs
+        if not obs.enabled:
+            return None
+        span = stack.enter_context(obs.tracer.span(f"pipeline.{name}", stage=name))
+        started = time.perf_counter()
+        stack.callback(
+            lambda: obs.metrics.histogram(
+                "pipeline_stage_seconds", "wall-clock duration per pipeline stage",
+            ).observe(time.perf_counter() - started, stage=name)
+        )
+        obs.logger("pipeline").info("stage_start", stage=name)
+        return span
+
+    def _count_artifact(self, name: str, amount: float = 1.0) -> None:
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "pipeline_artifacts_total", "analysis artifacts produced, per kind",
+            ).inc(amount, artifact=name)
+
+    def _telemetry_snapshot(self) -> Dict[str, object]:
+        tracer = self.obs.tracer
+        stages: Dict[str, Dict[str, Optional[float]]] = {}
+        for span in tracer.iter_spans():
+            stage = span.attrs.get("stage")
+            if stage is not None:
+                stages[str(stage)] = {
+                    "wall_seconds": span.wall_duration,
+                    "sim_seconds": span.sim_duration,
+                }
+        return {
+            "stages": stages,
+            "metrics": self.obs.metrics.to_dict(),
+            "spans": tracer.to_tree(),
+        }
+
     # -- the full study ----------------------------------------------------------------
 
     def run(self) -> StudyReport:
-        self.build()
-        self.collect_passive()
-        maps = self.device_maps()
-        packets = self.testbed.lan.capture.decoded()
+        obs = self.obs
+        if obs.enabled:
+            obs.set_sim_clock(
+                lambda: self.testbed.simulator.now if self.testbed is not None else 0.0
+            )
+        # Install the pipeline's context for the whole run so every
+        # subsystem constructed below (Simulator, Lan, scanners, phone)
+        # binds its instruments to this pipeline's registry.
+        with use_obs(obs), ExitStack() as root:
+            run_span = None
+            if obs.enabled:
+                run_span = root.enter_context(
+                    obs.tracer.span("pipeline.run", seed=self.seed))
+            with ExitStack() as stack:
+                self._stage(stack, "build")
+                self.build()
+                self._count_artifact("devices", len(self.testbed.devices))
 
-        census = census_from_capture(packets, maps["macs"], total_devices=len(self.testbed.devices))
-        scan_report = self.run_scans()
-        add_scan_results(census, scan_report)
+            with ExitStack() as stack:
+                span = self._stage(stack, "passive_capture")
+                self.collect_passive()
+                maps = self.device_maps()
+                packets = self.testbed.lan.capture.decoded()
+                if span is not None:
+                    span.set_attr("packets", len(packets))
+                self._count_artifact("capture_packets", len(packets))
 
-        app_runs = self.run_apps()
-        # Rates are computed over the apps actually run; pass
-        # app_sample_size=2335 to exercise the full dataset.
-        apps_total = len(app_runs)
-        add_app_results(census, app_runs, total_apps=apps_total)
+            with ExitStack() as stack:
+                span = self._stage(stack, "scans")
+                census = census_from_capture(
+                    packets, maps["macs"], total_devices=len(self.testbed.devices))
+                scan_report = self.run_scans()
+                add_scan_results(census, scan_report)
+                if span is not None:
+                    span.set_attr("hosts", len(scan_report.hosts))
+                self._count_artifact("scan_hosts", len(scan_report.hosts))
 
-        findings = VulnerabilityScanner().scan(self.testbed.devices)
-        report = StudyReport(
-            census=census,
-            device_graph=build_device_graph(packets, maps["macs"], maps["vendors"]),
-            exposure=analyze_exposure(packets, maps["macs"]),
-            responses=correlate_responses(packets, maps["macs"], maps["categories"]),
-            periodicity=analyze_periodicity(packets, maps["macs"]),
-            crossval=cross_validate(packets),
-            threat=build_threat_report(packets, maps["macs"], findings),
-            scan_report=scan_report,
-            exfiltration=audit_app_runs(app_runs, total_apps=apps_total),
-            honeypot_contacts=self.farm.contact_count() if self.farm else 0,
-            capture_packets=len(packets),
-        )
-        if self.include_crowdsourced:
-            report.fingerprint = fingerprint_households(seed=self.seed + 16)
+            with ExitStack() as stack:
+                span = self._stage(stack, "apps")
+                app_runs = self.run_apps()
+                # Rates are computed over the apps actually run; pass
+                # app_sample_size=2335 to exercise the full dataset.
+                apps_total = len(app_runs)
+                add_app_results(census, app_runs, total_apps=apps_total)
+                if span is not None:
+                    span.set_attr("apps", apps_total)
+                self._count_artifact("app_runs", apps_total)
+
+            with ExitStack() as stack:
+                self._stage(stack, "vulnscan")
+                findings = VulnerabilityScanner().scan(self.testbed.devices)
+                self._count_artifact("vuln_findings", len(findings))
+
+            with ExitStack() as stack:
+                self._stage(stack, "analysis")
+                report = StudyReport(
+                    census=census,
+                    device_graph=build_device_graph(packets, maps["macs"], maps["vendors"]),
+                    exposure=analyze_exposure(packets, maps["macs"]),
+                    responses=correlate_responses(packets, maps["macs"], maps["categories"]),
+                    periodicity=analyze_periodicity(packets, maps["macs"]),
+                    crossval=cross_validate(packets),
+                    threat=build_threat_report(packets, maps["macs"], findings),
+                    scan_report=scan_report,
+                    exfiltration=audit_app_runs(app_runs, total_apps=apps_total),
+                    honeypot_contacts=self.farm.contact_count() if self.farm else 0,
+                    capture_packets=len(packets),
+                )
+                if self.include_crowdsourced:
+                    report.fingerprint = fingerprint_households(seed=self.seed + 16)
+                for artifact in ("census", "device_graph", "exposure", "responses",
+                                 "periodicity", "crossval", "threat", "exfiltration"):
+                    self._count_artifact(artifact)
+            if run_span is not None:
+                run_span.set_attr("capture_packets", report.capture_packets)
+        if obs.enabled:
+            report.telemetry = self._telemetry_snapshot()
+            obs.logger("pipeline").info(
+                "run_complete", packets=report.capture_packets,
+                honeypot_contacts=report.honeypot_contacts)
         return report

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.net.decode import DecodedPacket
+from repro.obs import get_obs
 from repro.simnet.node import Node
 from repro.simnet.services import ServiceTable
 
@@ -30,9 +31,15 @@ class HoneypotLog:
 
     def __init__(self):
         self.events: List[HoneypotEvent] = []
+        self._obs = get_obs()
 
     def record(self, event: HoneypotEvent) -> None:
         self.events.append(event)
+        if self._obs.enabled:
+            self._obs.metrics.counter(
+                "honeypot_contacts_total",
+                "inbound contacts per honeypot protocol",
+            ).inc(protocol=event.protocol, honeypot=event.honeypot)
 
     def contacts_by_source(self) -> Dict[str, List[HoneypotEvent]]:
         by_source: Dict[str, List[HoneypotEvent]] = {}

@@ -10,6 +10,7 @@ from repro.honeypot.http import HttpHoneypot
 from repro.honeypot.mdns import MdnsHoneypot
 from repro.honeypot.ssdp import SsdpHoneypot
 from repro.honeypot.telnet import TelnetHoneypot
+from repro.obs import get_obs
 from repro.simnet.lan import Lan
 
 
@@ -29,7 +30,18 @@ class HoneypotFarm:
             HttpHoneypot(log=farm.log).attach_to(lan),
             TelnetHoneypot(log=farm.log).attach_to(lan),
         ]
+        obs = get_obs()
+        if obs.enabled:
+            obs.logger("honeypot").info(
+                "farm_deployed", honeypots=len(farm.honeypots))
         return farm
+
+    def contacts_per_type(self) -> Dict[str, int]:
+        """Contact counts keyed by honeypot protocol."""
+        counts: Dict[str, int] = {}
+        for event in self.log.events:
+            counts[event.protocol] = counts.get(event.protocol, 0) + 1
+        return counts
 
     def scanners_observed(self) -> Dict[str, List[str]]:
         """Which sources contacted which honeypot protocols."""

@@ -160,3 +160,45 @@ def _decode_ipv6_transport(packet: DecodedPacket) -> None:
             packet.icmpv6 = Icmpv6Message.decode(ip.payload)
     except ValueError:
         pass
+
+
+#: Cheap port → protocol labels for telemetry (not classification —
+#: the classify package owns real labels; this is a constant-time tag
+#: applied to every frame on the hot delivery path).
+_UDP_PORT_LABELS = {
+    53: "dns", 67: "dhcp", 68: "dhcp", 123: "ntp", 137: "netbios",
+    546: "dhcpv6", 547: "dhcpv6", 1900: "ssdp", 5353: "mdns",
+    5540: "matter", 5683: "coap", 6666: "tuyalp", 6667: "tuyalp",
+    9999: "tplink-shp",
+}
+_TCP_PORT_LABELS = {
+    80: "http", 8080: "http", 554: "rtsp", 443: "tls", 8443: "tls",
+    8883: "tls", 9999: "tplink-shp", 23: "telnet",
+}
+
+
+def quick_protocol(packet: DecodedPacket) -> str:
+    """A constant-time protocol tag for per-protocol telemetry counters."""
+    if packet.arp is not None:
+        return "arp"
+    if packet.eapol is not None:
+        return "eapol"
+    if packet.icmp is not None:
+        return "icmp"
+    if packet.icmpv6 is not None:
+        return "icmpv6"
+    if packet.igmp is not None:
+        return "igmp"
+    if packet.udp is not None:
+        label = _UDP_PORT_LABELS.get(packet.udp.dst_port)
+        if label is None:
+            label = _UDP_PORT_LABELS.get(packet.udp.src_port, "udp-other")
+        return label
+    if packet.tcp is not None:
+        label = _TCP_PORT_LABELS.get(packet.tcp.dst_port)
+        if label is None:
+            label = _TCP_PORT_LABELS.get(packet.tcp.src_port, "tcp-other")
+        return label
+    if packet.ipv4 is not None or packet.ipv6 is not None:
+        return "ip-other"
+    return "l2-other"

@@ -1,0 +1,60 @@
+"""``repro.obs`` — the observability layer: metrics, traces, logs.
+
+Quick start::
+
+    from repro import obs
+
+    context = obs.enable_observability(log_level="info", install=True)
+    pipeline = StudyPipeline(obs=context)
+    report = pipeline.run()
+    context.metrics.to_json()                  # metrics snapshot
+    context.tracer.write_chrome_trace("t.json")  # chrome://tracing file
+
+Everything defaults to the no-op null backend; see
+``docs/observability.md`` for conventions and the instrumentation map.
+"""
+
+from repro.obs.context import (
+    NULL_OBS,
+    NullMetricsRegistry,
+    Observability,
+    enable_observability,
+    get_obs,
+    set_obs,
+    use_obs,
+)
+from repro.obs.instrument import counted, timed
+from repro.obs.logging import LogManager, NullLogger, StructuredLogger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.obs.tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_OBS",
+    "NullMetricsRegistry",
+    "Observability",
+    "enable_observability",
+    "get_obs",
+    "set_obs",
+    "use_obs",
+    "counted",
+    "timed",
+    "LogManager",
+    "NullLogger",
+    "StructuredLogger",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

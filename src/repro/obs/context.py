@@ -1,0 +1,151 @@
+"""The observability context: one bundle of metrics + tracing + logging.
+
+Instrumented code never imports concrete backends; it asks for the
+*current* :class:`Observability` via :func:`get_obs` at construction
+time and guards hot paths with the ``enabled`` flag::
+
+    obs = get_obs()
+    ...
+    if obs.enabled:
+        obs.metrics.counter("lan_frames_total").inc(protocol=label)
+
+The default context is :data:`NULL_OBS`, whose backends are no-op
+singletons, so an uninstrumented run pays one attribute check per hot
+path — nothing else.  :func:`use_obs` installs a real context for the
+duration of a ``with`` block (the pattern ``StudyPipeline`` uses so the
+``Simulator``/``Lan`` it builds pick the context up automatically).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, Union
+
+from repro.obs.logging import LogManager, NullLogManager
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import NullTracer, Tracer
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float, **labels: str) -> None:
+        return None
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float, **labels: str) -> None:
+        return None
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry whose metrics swallow every write and export empty."""
+
+    _COUNTER = _NullCounter("null")
+    _GAUGE = _NullGauge("null")
+    _HISTOGRAM = _NullHistogram("null")
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._GAUGE
+
+    def histogram(self, name: str, help: str = "", buckets=None) -> Histogram:
+        return self._HISTOGRAM
+
+    def scoped(self, prefix: str) -> "NullMetricsRegistry":
+        return self
+
+    def to_dict(self):
+        return {}
+
+
+class Observability:
+    """Everything an instrumented subsystem needs, in one handle."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        tracer: Union[Tracer, NullTracer],
+        logs: Union[LogManager, NullLogManager],
+        enabled: bool = True,
+    ):
+        self.metrics = metrics
+        self.tracer = tracer
+        self.logs = logs
+        self.enabled = enabled
+
+    def logger(self, subsystem: str):
+        return self.logs.logger(subsystem)
+
+    def set_sim_clock(self, sim_clock: Optional[Callable[[], float]]) -> None:
+        """Point the tracer (and kv-log timestamps) at a simulated clock."""
+        self.tracer.set_sim_clock(sim_clock)
+        if isinstance(self.logs, LogManager):
+            self.logs.clock = sim_clock
+
+
+#: The do-nothing context installed by default.
+NULL_OBS = Observability(
+    metrics=NullMetricsRegistry(),
+    tracer=NullTracer(),
+    logs=NullLogManager(),
+    enabled=False,
+)
+
+_current: Observability = NULL_OBS
+
+
+def get_obs() -> Observability:
+    """The active observability context (``NULL_OBS`` unless installed)."""
+    return _current
+
+
+def set_obs(obs: Optional[Observability]) -> Observability:
+    """Install ``obs`` globally; pass ``None`` to reset to the null context."""
+    global _current
+    _current = obs if obs is not None else NULL_OBS
+    return _current
+
+
+@contextmanager
+def use_obs(obs: Observability) -> Iterator[Observability]:
+    """Install ``obs`` for the duration of the block, then restore."""
+    global _current
+    previous = _current
+    _current = obs
+    try:
+        yield obs
+    finally:
+        _current = previous
+
+
+def enable_observability(
+    log_level: Optional[str] = None,
+    log_format: str = "kv",
+    log_stream=None,
+    install: bool = False,
+) -> Observability:
+    """Build a live context (real registry, tracer, env-configured logs).
+
+    With ``install=True`` the context also becomes the process-global
+    one, so code that reads :func:`get_obs` at construction time — the
+    ``Simulator``, the ``Lan`` — starts reporting immediately.
+    """
+    obs = Observability(
+        metrics=MetricsRegistry(),
+        tracer=Tracer(),
+        logs=LogManager.from_env(default_level=log_level, fmt=log_format,
+                                 stream=log_stream),
+        enabled=True,
+    )
+    if install:
+        set_obs(obs)
+    return obs

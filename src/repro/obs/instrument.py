@@ -1,0 +1,77 @@
+"""Decorator-level instrumentation: ``@timed`` and ``@counted``.
+
+Both decorators resolve the observability context *per call* via
+:func:`repro.obs.get_obs`, so the same decorated function is live when
+a context is installed and effectively free when it is not — the
+disabled path is one global read plus one attribute check.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.obs.context import get_obs
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+F = TypeVar("F", bound=Callable)
+
+
+def timed(metric: str, help: str = "",
+          buckets: Sequence[float] = DEFAULT_BUCKETS,
+          span: Optional[str] = None) -> Callable[[F], F]:
+    """Record wall-clock duration of each call into a histogram.
+
+    With ``span=`` set, each call also opens a tracer span of that name,
+    so decorated stages show up in the trace tree without boilerplate.
+    """
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            obs = get_obs()
+            if not obs.enabled:
+                return func(*args, **kwargs)
+            if span is not None:
+                with obs.tracer.span(span):
+                    started = time.perf_counter()
+                    result = func(*args, **kwargs)
+            else:
+                started = time.perf_counter()
+                result = func(*args, **kwargs)
+            obs.metrics.histogram(metric, help, buckets=buckets).observe(
+                time.perf_counter() - started
+            )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def counted(metric: str, help: str = "", **labels: str) -> Callable[[F], F]:
+    """Count calls (and errors, under an ``outcome`` label).
+
+    Successful calls increment ``metric`` with ``outcome="ok"``; calls
+    that raise increment it with ``outcome="error"`` and re-raise.
+    """
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            obs = get_obs()
+            if not obs.enabled:
+                return func(*args, **kwargs)
+            counter = obs.metrics.counter(metric, help)
+            try:
+                result = func(*args, **kwargs)
+            except BaseException:
+                counter.inc(outcome="error", **labels)
+                raise
+            counter.inc(outcome="ok", **labels)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

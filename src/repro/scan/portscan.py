@@ -17,6 +17,7 @@ from repro.net.decode import DecodedPacket
 from repro.net.icmp import IcmpType
 from repro.net.mac import MacAddress
 from repro.net.tcp import TcpFlags, TcpSegment
+from repro.obs import get_obs
 from repro.scan.nmap_services import correct_service_label, nmap_service_name
 from repro.simnet.lan import Lan
 from repro.simnet.node import Node
@@ -117,6 +118,21 @@ class PortScanner(Node):
         self._replies: List[DecodedPacket] = []
         self.add_raw_hook(lambda _node, packet: self._replies.append(packet))
         self.probes_sent = 0
+        obs = get_obs()
+        self._obs = obs
+        if obs.enabled:
+            metrics = obs.metrics.scoped("scan")
+            self._probes_total = metrics.counter(
+                "probes_total", "scan probes sent, per kind (tcp/udp/icmp)")
+            self._open_ports_total = metrics.counter(
+                "open_ports_total", "open ports discovered, per transport")
+            self._sweep_seconds = metrics.histogram(
+                "sweep_seconds", "wall-clock duration of full sweeps")
+
+    def _count_probe(self, kind: str) -> None:
+        self.probes_sent += 1
+        if self._obs.enabled:
+            self._probes_total.inc(kind=kind)
 
     def _drain(self) -> List[DecodedPacket]:
         replies, self._replies = self._replies, []
@@ -133,7 +149,7 @@ class PortScanner(Node):
             segment = TcpSegment(self.ephemeral_port(), port, seq=7, flags=TcpFlags.SYN)
             self._replies.clear()
             self.send_tcp_segment(target.ip, segment, dst_mac=target.mac)
-            self.probes_sent += 1
+            self._count_probe("tcp")
             for reply in self._drain():
                 if reply.tcp is None:
                     continue
@@ -158,7 +174,7 @@ class PortScanner(Node):
         for port in ports:
             self._replies.clear()
             self.send_udp(target.ip, port, b"\x00" * 8, dst_mac=target.mac)
-            self.probes_sent += 1
+            self._count_probe("udp")
             got_icmp_unreachable = False
             got_payload = False
             for reply in self._drain():
@@ -186,7 +202,7 @@ class PortScanner(Node):
             if protocol == 1:
                 self._replies.clear()
                 self.send_icmp_echo(target.ip)
-                self.probes_sent += 1
+                self._count_probe("icmp")
                 if any(reply.icmp is not None for reply in self._drain()):
                     supported.append(1)
                     responded = True
@@ -213,9 +229,13 @@ class PortScanner(Node):
         udp_ports: Optional[Sequence[int]] = None,
     ) -> ScanReport:
         """Scan every target: TCP, UDP 1-1024, IP protocols; label services."""
+        import time as _time
+
         lan = self.lan
         if lan is None:
             raise RuntimeError("scanner is not attached to a LAN")
+        obs = self._obs
+        sweep_started = _time.perf_counter() if obs.enabled else 0.0
         targets = targets if targets is not None else [
             node for node in lan.nodes if node is not self and node.name != "gateway"
         ]
@@ -239,4 +259,18 @@ class PortScanner(Node):
                 host.open_udp.append(OpenPort("udp", port, nmap_label, corrected, reason))
             host.supported_ip_protocols, host.responded_ip_proto = self.ip_protocol_scan(target)
             report.hosts.append(host)
+            if obs.enabled:
+                obs.logger("scan").debug(
+                    "host_scanned", device=host.name,
+                    open_tcp=len(host.open_tcp), open_udp=len(host.open_udp))
+        if obs.enabled:
+            self._open_ports_total.inc(
+                sum(len(host.open_tcp) for host in report.hosts), transport="tcp")
+            self._open_ports_total.inc(
+                sum(len(host.open_udp) for host in report.hosts), transport="udp")
+            self._sweep_seconds.observe(_time.perf_counter() - sweep_started)
+            obs.logger("scan").info(
+                "sweep_complete", targets=len(report.hosts),
+                probes=self.probes_sent,
+                devices_with_open_ports=report.devices_with_open_ports)
         return report

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.devices.behaviors import DeviceNode
+from repro.obs import get_obs
 from repro.scan.cve_db import CVE_DATABASE, CveEntry, entries_for_software, lookup
 
 
@@ -61,9 +62,25 @@ class VulnerabilityScanner:
         return result
 
     def scan(self, nodes: List[DeviceNode]) -> List[Finding]:
+        import time as _time
+
+        obs = get_obs()
+        started = _time.perf_counter() if obs.enabled else 0.0
         findings: List[Finding] = []
         for node in nodes:
             findings.extend(self.scan_device(node))
+        if obs.enabled:
+            metrics = obs.metrics.scoped("vulnscan")
+            counter = metrics.counter(
+                "findings_total", "vulnerability findings, per severity")
+            for finding in findings:
+                counter.inc(severity=finding.severity)
+            metrics.counter(
+                "devices_scanned_total", "devices vulnerability-scanned",
+            ).inc(len(nodes))
+            metrics.histogram(
+                "scan_seconds", "wall-clock duration of vulnerability scans",
+            ).observe(_time.perf_counter() - started)
         return findings
 
     # -- passes --------------------------------------------------------------------

@@ -16,6 +16,7 @@ from repro.net.decode import DecodedPacket, decode_frame
 from repro.net.ether import EthernetFrame
 from repro.net.mac import MacAddress
 from repro.net.pcap import PcapWriter
+from repro.obs import get_obs
 
 
 class ApCapture:
@@ -26,10 +27,21 @@ class ApCapture:
         self._records: List[Tuple[float, bytes]] = []
         self.packet_count = 0
         self.byte_count = 0
+        obs = get_obs()
+        self._obs = obs
+        if obs.enabled:
+            metrics = obs.metrics.scoped("capture")
+            self._frames_observed_total = metrics.counter(
+                "frames_observed_total", "every frame seen by the AP capture")
+            self._bytes_observed_total = metrics.counter(
+                "bytes_observed_total", "bytes seen by the AP capture")
 
     def observe(self, timestamp: float, frame_bytes: bytes) -> None:
         self.packet_count += 1
         self.byte_count += len(frame_bytes)
+        if self._obs.enabled:
+            self._frames_observed_total.inc()
+            self._bytes_observed_total.inc(len(frame_bytes))
         if self.keep_bytes:
             self._records.append((timestamp, frame_bytes))
 

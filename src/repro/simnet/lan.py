@@ -12,10 +12,11 @@ from __future__ import annotations
 import ipaddress
 from typing import Dict, List, Optional
 
-from repro.net.decode import DecodedPacket, decode_frame
+from repro.net.decode import DecodedPacket, decode_frame, quick_protocol
 from repro.net.ether import EtherType
 from repro.net.mac import MacAddress
 from repro.net.tcp import TcpFlags, TcpSegment
+from repro.obs import get_obs
 from repro.simnet.capture import ApCapture
 from repro.simnet.node import Node
 from repro.simnet.simulator import Simulator
@@ -41,6 +42,19 @@ class Lan:
         self._nodes_by_ip: Dict[str, Node] = {}
         self._next_host = 10
         self.frames_delivered = 0
+        obs = get_obs()
+        self._obs = obs
+        if obs.enabled:
+            metrics = obs.metrics.scoped("lan")
+            self._frames_delivered_total = metrics.counter(
+                "frames_delivered_total",
+                "frames that reached at least one receiver, per protocol")
+            self._frames_dropped_total = metrics.counter(
+                "frames_dropped_total",
+                "frames with no receiver (unknown MAC / empty group), per protocol")
+            self._capture_packets_total = obs.metrics.counter(
+                "capture_packets_total",
+                "frames retained by the AP capture, per protocol")
 
     # -- membership -------------------------------------------------------------
 
@@ -102,9 +116,18 @@ class Lan:
         timestamp = self.simulator.now
         self.capture.observe(timestamp, frame_bytes)
         packet = decode_frame(frame_bytes, timestamp)
-        for receiver in self._receivers_of(sender, packet):
+        receivers = self._receivers_of(sender, packet)
+        for receiver in receivers:
             receiver.receive(packet)
             self.frames_delivered += 1
+        if self._obs.enabled:
+            protocol = quick_protocol(packet)
+            if self.capture.keep_bytes:
+                self._capture_packets_total.inc(protocol=protocol)
+            if receivers:
+                self._frames_delivered_total.inc(protocol=protocol)
+            else:
+                self._frames_dropped_total.inc(protocol=protocol)
         return packet
 
     def _receivers_of(self, sender: Node, packet: DecodedPacket) -> List[Node]:

@@ -4,7 +4,36 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Optional
+import time
+from typing import Callable, Optional, Union
+
+from repro.obs import get_obs
+
+
+class PeriodicHandle:
+    """Cancellable handle for :meth:`Simulator.schedule_periodic`.
+
+    The periodic loop reschedules itself with a fresh event id on every
+    firing; the handle tracks the *current* id so ``cancel()`` (or
+    ``Simulator.cancel(handle)``) stops the loop no matter how many
+    times it has already fired.
+    """
+
+    __slots__ = ("_simulator", "_event_id", "cancelled")
+
+    def __init__(self, simulator: "Simulator"):
+        self._simulator = simulator
+        self._event_id: Optional[int] = None
+        self.cancelled = False
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event_id is not None:
+            self._simulator.cancel(self._event_id)
 
 
 class Simulator:
@@ -19,6 +48,17 @@ class Simulator:
         self._queue = []
         self._counter = itertools.count()
         self._cancelled = set()
+        self._pending_ids = set()
+        obs = get_obs()
+        self._obs = obs
+        if obs.enabled:
+            metrics = obs.metrics.scoped("sim")
+            self._events_total = metrics.counter(
+                "events_total", "events executed by Simulator.run")
+            self._queue_depth = metrics.gauge(
+                "queue_depth", "pending events after each run() call")
+            self._callback_seconds = metrics.histogram(
+                "callback_seconds", "wall-clock latency per event callback")
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> int:
         """Run ``callback`` after ``delay`` seconds; returns an event id."""
@@ -31,6 +71,7 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
         event_id = next(self._counter)
         heapq.heappush(self._queue, (when, event_id, callback))
+        self._pending_ids.add(event_id)
         return event_id
 
     def schedule_periodic(
@@ -39,26 +80,61 @@ class Simulator:
         callback: Callable[[], None],
         first_delay: Optional[float] = None,
         until: Optional[float] = None,
-    ) -> None:
-        """Run ``callback`` every ``interval`` seconds until ``until``."""
+    ) -> PeriodicHandle:
+        """Run ``callback`` every ``interval`` seconds until ``until``.
+
+        Returns a :class:`PeriodicHandle` whose ``cancel()`` stops the
+        loop even after it has rescheduled itself.
+        """
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
+        handle = PeriodicHandle(self)
 
         def fire():
+            if handle.cancelled:
+                return
             if until is not None and self.now > until:
                 return
             callback()
             if until is None or self.now + interval <= until:
-                self.schedule(interval, fire)
+                handle._event_id = self.schedule(interval, fire)
 
-        self.schedule(interval if first_delay is None else first_delay, fire)
+        handle._event_id = self.schedule(
+            interval if first_delay is None else first_delay, fire)
+        return handle
 
-    def cancel(self, event_id: int) -> None:
-        self._cancelled.add(event_id)
+    def cancel(self, event: Union[int, PeriodicHandle]) -> None:
+        """Cancel a scheduled event id or a periodic handle.
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Process events; returns the number of events executed."""
+        Cancelling an id that already executed (or never existed) is a
+        no-op — it is *not* remembered, so ``_cancelled`` cannot grow
+        without bound over a long campaign.
+        """
+        if isinstance(event, PeriodicHandle):
+            event.cancel()
+            return
+        if event in self._pending_ids:
+            self._cancelled.add(event)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        on_event: Optional[Callable[[int, float], None]] = None,
+        on_event_every: int = 1000,
+    ) -> int:
+        """Process events; returns the number of events executed.
+
+        ``on_event(executed, sim_now)`` — a liveness hook for long
+        campaigns — is invoked after every ``on_event_every`` executed
+        events (and once more at the end of the run when any events ran
+        since the last report).
+        """
+        if on_event is not None and on_event_every <= 0:
+            raise ValueError(f"on_event_every must be positive, got {on_event_every}")
+        obs_on = self._obs.enabled
         executed = 0
+        last_report = 0
         while self._queue:
             when, event_id, callback = self._queue[0]
             if until is not None and when > until:
@@ -66,14 +142,28 @@ class Simulator:
             if max_events is not None and executed >= max_events:
                 break
             heapq.heappop(self._queue)
+            self._pending_ids.discard(event_id)
             if event_id in self._cancelled:
                 self._cancelled.discard(event_id)
                 continue
             self.now = when
-            callback()
+            if obs_on:
+                started = time.perf_counter()
+                callback()
+                self._callback_seconds.observe(time.perf_counter() - started)
+            else:
+                callback()
             executed += 1
+            if on_event is not None and executed - last_report >= on_event_every:
+                last_report = executed
+                on_event(executed, self.now)
         if until is not None and self.now < until:
             self.now = until
+        if on_event is not None and executed > last_report:
+            on_event(executed, self.now)
+        if obs_on:
+            self._events_total.inc(executed)
+            self._queue_depth.set(len(self._queue))
         return executed
 
     @property

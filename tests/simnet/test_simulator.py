@@ -118,3 +118,83 @@ class TestPeriodic:
             return log
 
         assert run_once() == run_once()
+
+    def test_returns_cancellable_handle(self):
+        sim = Simulator()
+        times = []
+        handle = sim.schedule_periodic(10.0, lambda: times.append(sim.now))
+        assert handle.active
+        sim.run(until=25.0)  # fires at 10, 20; loop has rescheduled itself
+        handle.cancel()
+        assert not handle.active
+        sim.run(until=100.0)
+        assert times == [10.0, 20.0]
+
+    def test_cancel_mid_run(self):
+        sim = Simulator()
+        times = []
+        handle = sim.schedule_periodic(5.0, lambda: times.append(sim.now))
+        sim.schedule(12.0, handle.cancel)
+        sim.run(until=50.0)
+        assert times == [5.0, 10.0]
+
+    def test_simulator_cancel_accepts_handle(self):
+        sim = Simulator()
+        times = []
+        handle = sim.schedule_periodic(5.0, lambda: times.append(sim.now))
+        sim.run(until=7.0)
+        sim.cancel(handle)
+        sim.run(until=50.0)
+        assert times == [5.0]
+
+
+class TestCancelBookkeeping:
+    def test_cancelling_executed_event_does_not_leak(self):
+        sim = Simulator()
+        event_id = sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.cancel(event_id)  # already executed: must be a no-op
+        assert sim._cancelled == set()
+
+    def test_cancelling_unknown_id_does_not_leak(self):
+        sim = Simulator()
+        sim.cancel(123456)
+        assert sim._cancelled == set()
+
+    def test_cancelled_pending_event_is_pruned_after_run(self):
+        sim = Simulator()
+        event_id = sim.schedule(1.0, lambda: None)
+        sim.cancel(event_id)
+        sim.run()
+        assert sim._cancelled == set()
+        assert sim._pending_ids == set()
+
+
+class TestProgressHook:
+    def test_on_event_fires_every_n_events(self):
+        sim = Simulator()
+        for index in range(10):
+            sim.schedule(float(index + 1), lambda: None)
+        reports = []
+        sim.run(on_event=lambda count, now: reports.append((count, now)),
+                on_event_every=4)
+        # every 4 events, plus the final partial report
+        assert reports == [(4, 4.0), (8, 8.0), (10, 10.0)]
+
+    def test_no_trailing_duplicate_when_count_is_exact(self):
+        sim = Simulator()
+        for index in range(4):
+            sim.schedule(float(index + 1), lambda: None)
+        reports = []
+        sim.run(on_event=lambda count, now: reports.append(count), on_event_every=2)
+        assert reports == [2, 4]
+
+    def test_no_report_when_nothing_ran(self):
+        sim = Simulator()
+        reports = []
+        sim.run(on_event=lambda count, now: reports.append(count))
+        assert reports == []
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().run(on_event=lambda c, n: None, on_event_every=0)

@@ -22,6 +22,29 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["study"])
         assert args.seed == 7 and args.duration == 900.0
+        assert args.metrics_out is None
+        assert args.trace_out is None
+        assert args.log_level is None
+
+    def test_observability_flags_parse(self):
+        args = build_parser().parse_args([
+            "study", "--metrics-out", "m.json", "--trace-out", "t.json",
+            "--log-level", "debug",
+        ])
+        assert args.metrics_out == "m.json"
+        assert args.trace_out == "t.json"
+        assert args.log_level == "debug"
+
+    def test_invalid_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--log-level", "chatty"])
+
+    def test_bad_output_dir_fails_before_run(self, tmp_path, capsys):
+        """An unwritable --metrics-out must fail fast, not after the run."""
+        missing = tmp_path / "no-such-dir" / "m.json"
+        assert main(["study", "--metrics-out", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "--metrics-out" in err and "does not exist" in err
 
 
 class TestCatalog:
@@ -75,6 +98,69 @@ class TestFingerprint:
     def test_unknown_mitigation(self, capsys):
         assert main(["fingerprint", "--mitigation", "wishful_thinking"]) == 1
         assert "unknown mitigation" in capsys.readouterr().err
+
+
+class TestStudyObservability:
+    """`repro study` with the observability flags (tiny run to stay fast)."""
+
+    @pytest.fixture(scope="class")
+    def study_outputs(self, tmp_path_factory):
+        import json
+
+        out = tmp_path_factory.mktemp("obs")
+        metrics_path = out / "m.json"
+        trace_path = out / "t.json"
+        code = main([
+            "study", "--duration", "45", "--apps", "4",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+            "--log-level", "error",
+        ])
+        assert code == 0
+        return (json.loads(metrics_path.read_text()),
+                json.loads(trace_path.read_text()))
+
+    def test_metrics_out_is_valid_json_with_counters(self, study_outputs):
+        metrics, _ = study_outputs
+        assert metrics["capture_packets_total"]["type"] == "counter"
+        total = sum(s["value"] for s in metrics["capture_packets_total"]["samples"])
+        assert total > 0
+        assert "sim_events_total" in metrics
+
+    def test_metrics_round_trip_through_prometheus_text(self, study_outputs):
+        """JSON snapshot -> registry -> Prometheus text -> parsed values,
+        with no counter value lost along the way."""
+        from repro.obs import MetricsRegistry, parse_prometheus_text
+
+        metrics, _ = study_outputs
+        registry = MetricsRegistry.from_dict(metrics)
+        parsed = parse_prometheus_text(registry.to_prometheus_text())
+        for name, entry in metrics.items():
+            if entry["type"] != "counter":
+                continue
+            for sample in entry["samples"]:
+                key = tuple(sorted(sample["labels"].items()))
+                assert parsed[name][key] == sample["value"], name
+
+    def test_trace_out_is_chrome_loadable(self, study_outputs):
+        _, trace = study_outputs
+        assert isinstance(trace["traceEvents"], list)
+        names = {event["name"] for event in trace["traceEvents"]}
+        from repro.core.pipeline import StudyPipeline
+
+        assert {f"pipeline.{stage}" for stage in StudyPipeline.STAGES} <= names
+        for event in trace["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+
+    def test_log_level_writes_structured_lines(self, tmp_path, capsys):
+        code = main([
+            "study", "--duration", "20", "--apps", "2", "--log-level", "info",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "pipeline stage_start" in err
+        assert "stage=build" in err
 
 
 class TestCapture:
