@@ -12,12 +12,12 @@ from repro.core.periodicity import analyze_periodicity
 from repro.report.tables import render_comparison, render_table
 
 
-def bench_appd1_periodicity(benchmark, lab_run):
+def bench_appd1_periodicity(benchmark, lab_run, lab_index):
     testbed, packets, maps = lab_run
     result = benchmark.pedantic(
-        analyze_periodicity, args=(packets, maps["macs"]), rounds=1, iterations=1
+        analyze_periodicity, args=(lab_index, maps["macs"]), rounds=1, iterations=1
     )
-    all_traffic = analyze_periodicity(packets, maps["macs"], discovery_only=False)
+    all_traffic = analyze_periodicity(lab_index, maps["macs"], discovery_only=False)
     periods = Counter()
     for detection in result.periodic_groups:
         if detection.period:

@@ -1,0 +1,161 @@
+"""Decode throughput: serial vs chunked-parallel, cold vs cached.
+
+The tentpole perf claim of the decode-once capture layer, measured
+directly: how many packets/second the frame decoder sustains when the
+backlog is decoded serially, when it fans out over the thread pool in
+order-preserving chunks, and when the memoized cache answers instead of
+re-decoding.  Timings land in ``STAGE_TIMINGS`` (attached to the bench
+JSON under ``stage_timings``) so the decode trajectory is tracked next
+to the pipeline stages.
+
+Also runnable standalone as the CI perf smoke::
+
+    PYTHONPATH=src python benchmarks/bench_decode_throughput.py --smoke
+
+which builds a small capture, checks that the cached path is not slower
+than the cold path and that parallel chunking is byte-identical to the
+serial decode, and prints the numbers as JSON.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.simnet.capture import ApCapture
+
+#: Force-parallel knobs used by the chunked measurements: threshold 1
+#: always takes the pool path, modest chunks exercise the chunking.
+PARALLEL_KWARGS = dict(parallel_threshold=1, decode_chunk_size=2048)
+
+
+def _feed(capture: ApCapture, records) -> ApCapture:
+    for timestamp, data in records:
+        capture.observe(timestamp, data)
+    return capture
+
+
+def _decode_rate(capture: ApCapture) -> float:
+    started = time.perf_counter()
+    packets = capture.decoded()
+    elapsed = time.perf_counter() - started
+    return len(packets) / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_decode_serial_cold(benchmark, lab_run, stage_timings):
+    """Cold serial decode of the full lab capture."""
+    testbed, _, _ = lab_run
+    records = list(testbed.lan.capture.records)
+
+    def cold():
+        return _feed(ApCapture(parallel_threshold=0), records).decoded()
+
+    started = time.perf_counter()
+    packets = benchmark.pedantic(cold, rounds=1, iterations=1)
+    stage_timings["decode_serial_cold"] = time.perf_counter() - started
+    print(f"\nserial cold: {len(packets)} packets")
+    assert len(packets) == len(records)
+
+
+def bench_decode_parallel_cold(benchmark, lab_run, stage_timings):
+    """Cold chunked-parallel decode; must reproduce capture order."""
+    testbed, packets_ref, _ = lab_run
+    records = list(testbed.lan.capture.records)
+
+    def cold():
+        return _feed(ApCapture(**PARALLEL_KWARGS), records).decoded()
+
+    started = time.perf_counter()
+    packets = benchmark.pedantic(cold, rounds=1, iterations=1)
+    stage_timings["decode_parallel_cold"] = time.perf_counter() - started
+    assert len(packets) == len(records)
+    # Order preservation: chunk concatenation is the capture order.
+    assert [p.timestamp for p in packets] == [p.timestamp for p in packets_ref]
+
+
+def bench_decode_cached(benchmark, lab_run, stage_timings):
+    """The memoized path: every call after the first is a cache hit."""
+    testbed, _, _ = lab_run
+    capture = testbed.lan.capture
+    first = capture.decoded()
+
+    started = time.perf_counter()
+    again = benchmark.pedantic(capture.decoded, rounds=1, iterations=1)
+    stage_timings["decode_cached"] = time.perf_counter() - started
+    assert again is first  # same list object, zero re-decode
+
+
+def bench_capture_index_cached(benchmark, lab_run, lab_index, stage_timings):
+    """Index retrieval after the session fixture built it: cache hit."""
+    testbed, _, _ = lab_run
+
+    started = time.perf_counter()
+    index = benchmark.pedantic(testbed.lan.capture.index, rounds=1, iterations=1)
+    stage_timings["capture_index_cached"] = time.perf_counter() - started
+    assert index is lab_index
+
+
+# -- standalone smoke mode (CI perf gate) ------------------------------------------
+
+
+def run_smoke(duration: float = 300.0, seed: int = 7) -> dict:
+    """Small-capture smoke: cached decode must not be slower than cold.
+
+    Returns the measured numbers; raises ``SystemExit`` on regression.
+    """
+    from repro.devices.behaviors import build_testbed
+
+    testbed = build_testbed(seed=seed)
+    testbed.run(duration)
+    records = list(testbed.lan.capture.records)
+
+    cold_capture = _feed(ApCapture(parallel_threshold=0), records)
+    started = time.perf_counter()
+    cold_packets = cold_capture.decoded()
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cached_packets = cold_capture.decoded()
+    cached_seconds = time.perf_counter() - started
+
+    parallel_capture = _feed(ApCapture(**PARALLEL_KWARGS), records)
+    started = time.perf_counter()
+    parallel_packets = parallel_capture.decoded()
+    parallel_seconds = time.perf_counter() - started
+
+    results = {
+        "packets": len(records),
+        "cold_seconds": cold_seconds,
+        "cached_seconds": cached_seconds,
+        "parallel_seconds": parallel_seconds,
+        "cold_pps": len(records) / cold_seconds if cold_seconds else None,
+        "cached_not_slower": cached_seconds <= cold_seconds,
+        "parallel_order_ok": (
+            [p.timestamp for p in parallel_packets]
+            == [p.timestamp for p in cold_packets]
+        ),
+    }
+    if cached_packets is not cold_packets:
+        raise SystemExit("decode cache returned a different object on re-read")
+    if not results["parallel_order_ok"]:
+        raise SystemExit("parallel chunked decode broke capture order")
+    if not results["cached_not_slower"]:
+        raise SystemExit(
+            f"cached decode slower than cold decode "
+            f"({cached_seconds:.6f}s > {cold_seconds:.6f}s)"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI perf smoke and print JSON")
+    parser.add_argument("--duration", type=float, default=300.0,
+                        help="simulated seconds of capture to decode")
+    options = parser.parse_args()
+    if not options.smoke:
+        parser.error("standalone mode requires --smoke (benches run via pytest)")
+    print(json.dumps(run_smoke(duration=options.duration), indent=2))

@@ -8,11 +8,11 @@ from repro.core.device_graph import build_device_graph
 from repro.report.tables import render_comparison
 
 
-def bench_fig1_device_graph(benchmark, lab_run):
+def bench_fig1_device_graph(benchmark, lab_run, lab_index):
     testbed, packets, maps = lab_run
     graph = benchmark.pedantic(
         build_device_graph,
-        args=(packets, maps["macs"], maps["vendors"]),
+        args=(lab_index, maps["macs"], maps["vendors"]),
         rounds=1,
         iterations=1,
     )

@@ -14,11 +14,11 @@ from repro.core.protocol_census import (
 from repro.report.tables import render_comparison, render_figure2
 
 
-def bench_fig2_protocol_census(benchmark, lab_run, scan_report, app_runs):
+def bench_fig2_protocol_census(benchmark, lab_run, lab_index, scan_report, app_runs):
     testbed, packets, maps = lab_run
 
     def build():
-        census = census_from_capture(packets, maps["macs"])
+        census = census_from_capture(lab_index, maps["macs"])
         add_scan_results(census, scan_report)
         add_app_results(census, app_runs, total_apps=len(app_runs))
         return census

@@ -13,12 +13,12 @@ from repro.report.tables import render_comparison
 from repro.scan.vulnscan import VulnerabilityScanner
 
 
-def bench_sec5_threats(benchmark, lab_run):
+def bench_sec5_threats(benchmark, lab_run, lab_index):
     testbed, packets, maps = lab_run
 
     def build():
         findings = VulnerabilityScanner().scan(testbed.devices)
-        return build_threat_report(packets, maps["macs"], findings)
+        return build_threat_report(lab_index, maps["macs"], findings)
 
     report = benchmark.pedantic(build, rounds=1, iterations=1)
     identifiers_by_device = {}

@@ -20,10 +20,10 @@ PAPER_TABLE1 = {
 }
 
 
-def bench_table1_exposure(benchmark, lab_run):
+def bench_table1_exposure(benchmark, lab_run, lab_index):
     testbed, packets, maps = lab_run
     matrix = benchmark.pedantic(
-        analyze_exposure, args=(packets, maps["macs"]), rounds=1, iterations=1
+        analyze_exposure, args=(lab_index, maps["macs"]), rounds=1, iterations=1
     )
     print()
     print(render_table1(matrix))

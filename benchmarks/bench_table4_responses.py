@@ -21,10 +21,10 @@ PAPER_TABLE4 = {
 }
 
 
-def bench_table4_responses(benchmark, lab_run):
+def bench_table4_responses(benchmark, lab_run, lab_index):
     testbed, packets, maps = lab_run
     correlation = benchmark.pedantic(
-        correlate_responses, args=(packets, maps["macs"], maps["categories"]),
+        correlate_responses, args=(lab_index, maps["macs"], maps["categories"]),
         rounds=1, iterations=1,
     )
     print()

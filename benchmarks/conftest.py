@@ -24,6 +24,7 @@ from repro.apps.dataset import generate_app_dataset
 from repro.apps.runtime import InstrumentedPhone
 from repro.core.responses import category_of_profile
 from repro.devices.behaviors import build_testbed
+from repro.net.index import CaptureIndex
 from repro.scan.portscan import PortScanner
 
 PASSIVE_DURATION = 2400.0  # simulated seconds
@@ -58,6 +59,22 @@ def lab_run():
         "categories": {node.name: category_of_profile(node.profile) for node in testbed.devices},
     }
     return testbed, packets, maps
+
+
+@pytest.fixture(scope="session")
+def lab_index(lab_run):
+    """The decode-once :class:`CaptureIndex` shared by analysis benches."""
+    testbed, _, _ = lab_run
+    with _timed_stage("capture_index"):
+        index = testbed.lan.capture.index()
+        index.ensure_labels()
+    return index
+
+
+@pytest.fixture(scope="session")
+def stage_timings():
+    """The mutable stage-timings dict, for benches that add their own."""
+    return STAGE_TIMINGS
 
 
 @pytest.fixture(scope="session")

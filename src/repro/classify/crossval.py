@@ -18,6 +18,7 @@ from repro.classify.ndpi_like import NdpiLikeClassifier
 from repro.classify.tshark_like import TsharkLikeClassifier
 from repro.net.decode import DecodedPacket
 from repro.net.flows import FlowTable, assemble_flows
+from repro.net.index import CaptureIndex
 
 
 @dataclass
@@ -73,7 +74,7 @@ def _normalize(label: Optional[Label]) -> Optional[Label]:
 
 
 def cross_validate(
-    packets: Iterable[DecodedPacket],
+    packets: "Iterable[DecodedPacket] | CaptureIndex",
     tshark: Optional[TsharkLikeClassifier] = None,
     ndpi: Optional[NdpiLikeClassifier] = None,
 ) -> CrossValidation:
@@ -81,11 +82,13 @@ def cross_validate(
 
     Units of comparison are RFC 6146 flows for transport traffic plus
     individual packets for non-transport traffic (the layer-3 tail the
-    paper reports as mostly unlabeled).
+    paper reports as mostly unlabeled).  With a prebuilt
+    :class:`CaptureIndex` the flow table is the index's shared, lazily
+    assembled one instead of a fresh :func:`assemble_flows` pass.
     """
     tshark = tshark or TsharkLikeClassifier()
     ndpi = ndpi or NdpiLikeClassifier()
-    table = assemble_flows(packets)
+    table = CaptureIndex.ensure(packets).flows
 
     pairs: List[Tuple[Optional[Label], Optional[Label]]] = []
     for flow in table:

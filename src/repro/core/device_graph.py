@@ -15,6 +15,7 @@ import networkx as nx
 from repro.classify.labels import DISCOVERY_LABELS, Label
 from repro.classify.rules import CorrectedClassifier
 from repro.net.decode import DecodedPacket
+from repro.net.index import CaptureIndex
 
 #: Ports whose unicast traffic is a discovery response, not a
 #: device-to-device conversation.
@@ -72,7 +73,7 @@ class DeviceGraph:
 
 
 def build_device_graph(
-    packets: Iterable[DecodedPacket],
+    packets: "Iterable[DecodedPacket] | CaptureIndex",
     device_macs: Dict[str, str],
     device_vendor: Dict[str, str],
     classifier: Optional[CorrectedClassifier] = None,
@@ -81,31 +82,31 @@ def build_device_graph(
 
     ``device_macs``: MAC -> device name for IoT devices only (so phone
     and gateway traffic is excluded, as the figure caption requires).
+    Consumes the index's chronological unicast-transport bucket, so
+    edge insertion order matches a full scan exactly.
     """
-    classifier = classifier or CorrectedClassifier()
+    index = CaptureIndex.ensure(packets)
     graph = nx.MultiGraph()
     graph.add_nodes_from(device_macs.values())
     seen: Set[Tuple[str, str, str]] = set()
-    for packet in packets:
-        if packet.transport is None or not packet.is_unicast:
-            continue
-        src = device_macs.get(str(packet.frame.src))
-        dst = device_macs.get(str(packet.frame.dst))
+    for row in index.transport_unicast:
+        src = device_macs.get(row.src)
+        dst = device_macs.get(row.dst)
         if src is None or dst is None or src == dst:
             continue
         # Discovery responses ride unicast UDP from well-known ports;
         # TCP on the same port numbers (e.g. TPLINK-SHP control on
         # 9999) is a genuine device-to-device conversation and stays.
-        if packet.udp is not None and (
-            packet.src_port in _DISCOVERY_PORTS or packet.dst_port in _DISCOVERY_PORTS
+        if row.packet.udp is not None and (
+            row.src_port in _DISCOVERY_PORTS or row.dst_port in _DISCOVERY_PORTS
         ):
-            label = classifier.classify_packet(packet)
+            label = index.label_of(row, classifier)
             if label in DISCOVERY_LABELS or label is Label.DNS:
                 continue
         pair = tuple(sorted((src, dst)))
-        key = (pair[0], pair[1], packet.transport)
+        key = (pair[0], pair[1], row.transport)
         if key in seen:
             continue
         seen.add(key)
-        graph.add_edge(pair[0], pair[1], transport=packet.transport)
+        graph.add_edge(pair[0], pair[1], transport=row.transport)
     return DeviceGraph(graph=graph, device_vendor=device_vendor)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.net.decode import DecodedPacket
+from repro.net.index import CaptureIndex
 from repro.protocols.dhcp import DhcpMessage
 from repro.protocols.dns import DnsMessage, DnsType
 from repro.protocols.ssdp import SsdpMessage
@@ -88,22 +89,28 @@ def _is_old_client(vendor_class: str) -> bool:
 
 
 def analyze_exposure(
-    packets: Iterable[DecodedPacket],
+    packets: "Iterable[DecodedPacket] | CaptureIndex",
     device_macs: Dict[str, str],
 ) -> ExposureMatrix:
-    """Mine a capture for Table 1's exposure matrix."""
+    """Mine a capture for Table 1's exposure matrix.
+
+    Consumes the index's chronological ARP and UDP buckets instead of
+    scanning every packet; example ordering per (protocol, identifier)
+    cell is unchanged because each cell draws from a single bucket.
+    """
+    index = CaptureIndex.ensure(packets)
     matrix = ExposureMatrix()
-    for packet in packets:
-        device = device_macs.get(str(packet.frame.src))
+    for row in index.arp:
+        device = device_macs.get(row.src)
+        if device is not None:
+            matrix.expose("ARP", "MAC", device, str(row.packet.arp.sender_mac))
+    for row in index.udp:
+        device = device_macs.get(row.src)
         if device is None:
             continue
-        if packet.arp is not None:
-            matrix.expose("ARP", "MAC", device, str(packet.arp.sender_mac))
-            continue
-        if packet.udp is None:
-            continue
-        payload = packet.udp.payload
-        ports = (packet.udp.src_port, packet.udp.dst_port)
+        udp = row.packet.udp
+        payload = udp.payload
+        ports = (udp.src_port, udp.dst_port)
         if 67 in ports or 68 in ports:
             _mine_dhcp(matrix, device, payload)
         elif 5353 in ports:

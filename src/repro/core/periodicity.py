@@ -20,6 +20,7 @@ import numpy as np
 from repro.classify.labels import DISCOVERY_LABELS
 from repro.classify.rules import CorrectedClassifier
 from repro.net.decode import DecodedPacket
+from repro.net.index import CaptureIndex
 
 
 @dataclass
@@ -171,7 +172,7 @@ def discovery_intervals(
 
 
 def analyze_periodicity(
-    packets: Iterable[DecodedPacket],
+    packets: "Iterable[DecodedPacket] | CaptureIndex",
     device_macs: Dict[str, str],
     classifier: Optional[CorrectedClassifier] = None,
     discovery_only: bool = True,
@@ -182,21 +183,23 @@ def analyze_periodicity(
     """Group traffic by (device, destination, protocol) and test each.
 
     Ports are deliberately ignored ("the randomization of port number
-    is prevalent on IoT devices", Appendix D.1).
+    is prevalent on IoT devices", Appendix D.1).  Walks the index's
+    chronological rows (group creation is first-seen ordered) with
+    memoized labels.
     """
-    classifier = classifier or CorrectedClassifier()
+    index = CaptureIndex.ensure(packets)
     groups: Dict[Tuple[str, str, str], List[float]] = defaultdict(list)
-    for packet in packets:
-        device = device_macs.get(str(packet.frame.src))
+    for row in index.rows:
+        device = device_macs.get(row.src)
         if device is None:
             continue
-        label = classifier.classify_packet(packet)
+        label = index.label_of(row, classifier)
         if label is None:
             continue
         if discovery_only and label not in DISCOVERY_LABELS:
             continue
-        destination = packet.dst_ip or str(packet.frame.dst)
-        groups[(device, destination, str(label))].append(packet.timestamp)
+        destination = row.dst_ip or row.dst
+        groups[(device, destination, str(label))].append(row.timestamp)
 
     result = PeriodicityResult()
     for (device, destination, protocol), timestamps in groups.items():

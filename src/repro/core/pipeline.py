@@ -8,11 +8,13 @@ sample of the app dataset on the instrumented phone, and produces a
 
 from __future__ import annotations
 
+import os
 import random
 import time
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.apps.dataset import generate_app_dataset
 from repro.apps.runtime import AppRunResult, InstrumentedPhone
@@ -35,10 +37,18 @@ from repro.core.responses import (
 )
 from repro.core.threat_report import ThreatReport, build_threat_report
 from repro.devices.behaviors import Testbed, build_testbed
+from repro.net.index import CaptureIndex
 from repro.obs import NULL_OBS, Observability, use_obs
 from repro.honeypot.farm import HoneypotFarm
 from repro.scan.portscan import PortScanner, ScanReport
 from repro.scan.vulnscan import VulnerabilityScanner
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
 
 
 @dataclass
@@ -193,14 +203,76 @@ class StudyPipeline:
             "spans": tracer.to_tree(),
         }
 
+    # -- the analysis fan-out -----------------------------------------------------------
+
+    def _run_analyses(
+        self,
+        index: CaptureIndex,
+        maps: Dict[str, Dict[str, str]],
+        findings,
+        parent_span,
+    ) -> Dict[str, object]:
+        """Build the six independent capture analyses, concurrently.
+
+        Each analysis reads the shared (immutable once labelled)
+        :class:`CaptureIndex`, so they are embarrassingly parallel; set
+        ``REPRO_ANALYSIS_PARALLEL=0`` to force the serial path.  Every
+        analysis runs in its own ``analysis.<name>`` span, attached to
+        the analysis stage span via ``_parent`` so worker-thread spans
+        nest correctly.  All metric writes stay on the main thread.
+        """
+        obs = self.obs
+        tasks: Dict[str, Callable[[], object]] = {
+            "device_graph": lambda: build_device_graph(
+                index, maps["macs"], maps["vendors"]),
+            "exposure": lambda: analyze_exposure(index, maps["macs"]),
+            "responses": lambda: correlate_responses(
+                index, maps["macs"], maps["categories"]),
+            "periodicity": lambda: analyze_periodicity(index, maps["macs"]),
+            "crossval": lambda: cross_validate(index),
+            "threat": lambda: build_threat_report(index, maps["macs"], findings),
+        }
+
+        def run_one(name: str, task: Callable[[], object]) -> object:
+            with obs.tracer.span(f"analysis.{name}", _parent=parent_span,
+                                 analysis=name):
+                return task()
+
+        if not _env_flag("REPRO_ANALYSIS_PARALLEL", True):
+            return {name: run_one(name, task) for name, task in tasks.items()}
+
+        # Classify (and assemble flows) once on the main thread so the
+        # workers only read the memoized columns.
+        index.ensure_labels()
+        workers = max(1, min(len(tasks), os.cpu_count() or 1))
+        results: Dict[str, object] = {}
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                name: pool.submit(run_one, name, task)
+                for name, task in tasks.items()
+            }
+            for name, future in futures.items():
+                results[name] = future.result()
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "pipeline_analysis_tasks_total",
+                        "capture analyses completed by the fan-out pool",
+                    ).inc(analysis=name)
+        if obs.enabled:
+            obs.metrics.gauge(
+                "pipeline_analysis_pool_workers",
+                "thread-pool width of the analysis fan-out",
+            ).set(workers)
+        return results
+
     # -- the full study ----------------------------------------------------------------
 
     def run(self) -> StudyReport:
         obs = self.obs
-        if obs.enabled:
-            obs.set_sim_clock(
-                lambda: self.testbed.simulator.now if self.testbed is not None else 0.0
-            )
+        # The sim clock is installed exactly once, by build(), when the
+        # Simulator it reads actually exists; spans opened before that
+        # (the run span, the build stage span) get their sim bounds
+        # backfilled at close by the tracer.
         # Install the pipeline's context for the whole run so every
         # subsystem constructed below (Simulator, Lan, scanners, phone)
         # binds its instruments to this pipeline's registry.
@@ -218,15 +290,18 @@ class StudyPipeline:
                 span = self._stage(stack, "passive_capture")
                 self.collect_passive()
                 maps = self.device_maps()
-                packets = self.testbed.lan.capture.decoded()
+                # Decode + index exactly once; every analysis below
+                # shares this CaptureIndex (and its memoized labels).
+                with obs.tracer.span("capture.decode_index"):
+                    index = self.testbed.lan.capture.index()
                 if span is not None:
-                    span.set_attr("packets", len(packets))
-                self._count_artifact("capture_packets", len(packets))
+                    span.set_attr("packets", len(index))
+                self._count_artifact("capture_packets", len(index))
 
             with ExitStack() as stack:
                 span = self._stage(stack, "scans")
                 census = census_from_capture(
-                    packets, maps["macs"], total_devices=len(self.testbed.devices))
+                    index, maps["macs"], total_devices=len(self.testbed.devices))
                 scan_report = self.run_scans()
                 add_scan_results(census, scan_report)
                 if span is not None:
@@ -250,19 +325,20 @@ class StudyPipeline:
                 self._count_artifact("vuln_findings", len(findings))
 
             with ExitStack() as stack:
-                self._stage(stack, "analysis")
+                analysis_span = self._stage(stack, "analysis")
+                analyses = self._run_analyses(index, maps, findings, analysis_span)
                 report = StudyReport(
                     census=census,
-                    device_graph=build_device_graph(packets, maps["macs"], maps["vendors"]),
-                    exposure=analyze_exposure(packets, maps["macs"]),
-                    responses=correlate_responses(packets, maps["macs"], maps["categories"]),
-                    periodicity=analyze_periodicity(packets, maps["macs"]),
-                    crossval=cross_validate(packets),
-                    threat=build_threat_report(packets, maps["macs"], findings),
+                    device_graph=analyses["device_graph"],
+                    exposure=analyses["exposure"],
+                    responses=analyses["responses"],
+                    periodicity=analyses["periodicity"],
+                    crossval=analyses["crossval"],
+                    threat=analyses["threat"],
                     scan_report=scan_report,
                     exfiltration=audit_app_runs(app_runs, total_apps=apps_total),
                     honeypot_contacts=self.farm.contact_count() if self.farm else 0,
-                    capture_packets=len(packets),
+                    capture_packets=len(index),
                 )
                 if self.include_crowdsourced:
                     report.fingerprint = fingerprint_households(seed=self.seed + 16)

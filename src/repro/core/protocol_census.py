@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.classify.labels import Label
 from repro.classify.rules import CorrectedClassifier
 from repro.net.decode import DecodedPacket
+from repro.net.index import CaptureIndex
 from repro.net.mac import MacAddress
 
 
@@ -112,7 +113,7 @@ _SERVICE_TO_LABEL = {
 
 
 def census_from_capture(
-    packets: Iterable[DecodedPacket],
+    packets: "Iterable[DecodedPacket] | CaptureIndex",
     device_macs: Dict[str, str],
     classifier: Optional[CorrectedClassifier] = None,
     total_devices: Optional[int] = None,
@@ -121,17 +122,23 @@ def census_from_capture(
 
     ``device_macs`` maps MAC string -> device name (the per-MAC pcap
     attribution of §3.1); frames from unknown MACs are ignored.
+    Accepts a prebuilt :class:`CaptureIndex` (fast path: per-src-MAC
+    buckets, memoized labels) or any iterable of decoded packets.
     """
-    classifier = classifier or CorrectedClassifier()
+    index = CaptureIndex.ensure(packets)
     census = ProtocolCensus(total_devices=total_devices or len(device_macs))
-    for packet in packets:
-        device = device_macs.get(str(packet.frame.src))
+    # The per-device protocol sets are order-insensitive, so this walks
+    # the per-src-MAC buckets: one device_macs lookup per MAC instead of
+    # one per packet.
+    for mac, rows in index.by_src_mac.items():
+        device = device_macs.get(mac)
         if device is None:
             continue
-        label = classifier.classify_packet(packet)
-        if label is None:
-            continue
-        census.passive[str(label)].add(device)
+        for row in rows:
+            label = index.label_of(row, classifier)
+            if label is None:
+                continue
+            census.passive[str(label)].add(device)
     return census
 
 

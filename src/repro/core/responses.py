@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.classify.labels import Label
 from repro.classify.rules import CorrectedClassifier
 from repro.net.decode import DecodedPacket
+from repro.net.index import CaptureIndex
 
 #: Discovery labels considered, excluding the near-universal ones.
 COUNTED_DISCOVERY = {Label.MDNS, Label.SSDP, Label.TPLINK_SHP, Label.TUYALP, Label.COAP, Label.NETBIOS}
@@ -61,7 +62,7 @@ class ResponseCorrelation:
 
 
 def correlate_responses(
-    packets: Iterable[DecodedPacket],
+    packets: "Iterable[DecodedPacket] | CaptureIndex",
     device_macs: Dict[str, str],
     device_category: Dict[str, str],
     window: float = 3.0,
@@ -74,8 +75,12 @@ def correlate_responses(
     future work: "A response could also be multicast traffic such as QM
     mDNS" — when enabled, a multicast mDNS *response* within the window
     of a query is credited to every device with an outstanding query.
+
+    Discovery candidates come from the index's chronological multicast
+    bucket and responses from the unicast bucket, so pending-list and
+    responder insertion orders match a full scan exactly.
     """
-    classifier = classifier or CorrectedClassifier()
+    index = CaptureIndex.ensure(packets)
     correlation = ResponseCorrelation()
     for name in device_macs.values():
         correlation.per_device[name] = DeviceResponseStats(
@@ -87,21 +92,18 @@ def correlate_responses(
     # label.  The timestamp is stored verbatim (not as a precomputed
     # deadline) so the window check below is exact for responses that
     # share the discovery's timestamp.
-    packets = list(packets)
     pending: Dict[Tuple[str, str, int], List[Tuple[float, str]]] = defaultdict(list)
-    for packet in packets:
-        src = device_macs.get(str(packet.frame.src))
-        if src is None or packet.transport is None:
+    for row in index.transport_multicast:
+        src = device_macs.get(row.src)
+        if src is None:
             continue
-        if packet.is_unicast:
-            continue
-        label = classifier.classify_packet(packet)
+        label = index.label_of(row, classifier)
         if label not in COUNTED_DISCOVERY:
             continue
         stats = correlation.per_device[src]
         stats.discovery_protocols.add(str(label))
-        pending[(src, packet.transport, packet.src_port)].append(
-            (packet.timestamp, str(label))
+        pending[(src, row.transport, row.src_port)].append(
+            (row.timestamp, str(label))
         )
 
     # Extension pass (QM mDNS): multicast responses credited to every
@@ -116,18 +118,18 @@ def correlate_responses(
             for discovered_at, label in entries
             if label == str(Label.MDNS)
         ]
-        for packet in packets:
-            if packet.udp is None or packet.is_unicast or packet.udp.dst_port != 5353:
+        for row in index.udp:
+            if row.is_unicast or row.dst_port != 5353:
                 continue
-            responder = device_macs.get(str(packet.frame.src))
+            responder = device_macs.get(row.src)
             try:
-                message = DnsMessage.decode(packet.udp.payload)
+                message = DnsMessage.decode(row.packet.udp.payload)
             except ValueError:
                 continue
             if not message.is_response:
                 continue
             for discovered_at, initiator in mdns_queries:
-                if 0.0 <= packet.timestamp - discovered_at <= window:
+                if 0.0 <= row.timestamp - discovered_at <= window:
                     stats = correlation.per_device[initiator]
                     stats.protocols_with_response.add(str(Label.MDNS))
                     if responder is not None and responder != initiator:
@@ -135,16 +137,14 @@ def correlate_responses(
 
     # Pass 2: unicast inbound traffic matching transport + port within
     # the window counts as a response.
-    for packet in packets:
-        if packet.transport is None or not packet.is_unicast:
-            continue
-        dst = device_macs.get(str(packet.frame.dst))
-        responder = device_macs.get(str(packet.frame.src))
+    for row in index.transport_unicast:
+        dst = device_macs.get(row.dst)
         if dst is None:
             continue
-        key = (dst, packet.transport, packet.dst_port)
+        responder = device_macs.get(row.src)
+        key = (dst, row.transport, row.dst_port)
         for discovered_at, label in pending.get(key, ()):
-            if 0.0 <= packet.timestamp - discovered_at <= window:
+            if 0.0 <= row.timestamp - discovered_at <= window:
                 stats = correlation.per_device[dst]
                 stats.protocols_with_response.add(label)
                 if responder is not None:

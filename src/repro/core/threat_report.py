@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.classify.labels import Label
 from repro.classify.rules import CorrectedClassifier
 from repro.net.decode import DecodedPacket
+from repro.net.index import CaptureIndex
 from repro.protocols.http import HttpRequest, HttpResponse
 from repro.protocols.tls import CertificateInfo, HandshakeType, TlsVersion, iter_records
 from repro.scan.vulnscan import Finding
@@ -81,21 +82,25 @@ class ThreatReport:
 
 
 def build_threat_report(
-    packets: Iterable[DecodedPacket],
+    packets: "Iterable[DecodedPacket] | CaptureIndex",
     device_macs: Dict[str, str],
     findings: Optional[List[Finding]] = None,
     classifier: Optional[CorrectedClassifier] = None,
 ) -> ThreatReport:
-    """Mine passive captures + scanner findings into the §5 report."""
-    classifier = classifier or CorrectedClassifier()
+    """Mine passive captures + scanner findings into the §5 report.
+
+    Only TCP packets with payload matter here, so this walks the
+    index's chronological ``tcp_payload`` bucket directly.
+    """
+    index = CaptureIndex.ensure(packets)
     report = ThreatReport(findings=list(findings or []))
     http_roles: Dict[str, Set[str]] = defaultdict(set)
 
-    for packet in packets:
-        device = device_macs.get(str(packet.frame.src))
-        if device is None or packet.tcp is None or not packet.tcp.payload:
+    for row in index.tcp_payload:
+        device = device_macs.get(row.src)
+        if device is None:
             continue
-        payload = packet.tcp.payload
+        payload = row.packet.tcp.payload
         head = payload[:8]
         if head[:4] in (b"GET ", b"POST", b"PUT ", b"HEAD"):
             report.plaintext_http_devices.add(device)

@@ -134,6 +134,16 @@ def decode_frame(data: bytes, timestamp: float = 0.0) -> DecodedPacket:
     return packet
 
 
+def decode_records(records) -> "list[DecodedPacket]":
+    """Decode an ordered batch of ``(timestamp, frame_bytes)`` records.
+
+    This is the unit of work the capture layer hands to worker threads
+    when a large backlog is decoded in parallel chunks; decoding is pure,
+    so chunk results concatenate back into capture order.
+    """
+    return [decode_frame(data, timestamp) for timestamp, data in records]
+
+
 def _decode_ipv4_transport(packet: DecodedPacket) -> None:
     ip = packet.ipv4
     try:

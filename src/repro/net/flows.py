@@ -90,6 +90,14 @@ class FlowTable:
         self._flows: Dict[FlowKey, Flow] = {}
         self.non_flow_packets: List[DecodedPacket] = []
 
+    @classmethod
+    def from_packets(cls, packets: Iterable[DecodedPacket]) -> "FlowTable":
+        """Assemble a table from an iterable of decoded packets."""
+        table = cls()
+        for packet in packets:
+            table.add(packet)
+        return table
+
     def add(self, packet: DecodedPacket) -> Optional[Flow]:
         key = flow_key_of(packet)
         if key is None:
@@ -138,7 +146,4 @@ def flow_key_of(packet: DecodedPacket) -> Optional[FlowKey]:
 
 def assemble_flows(packets: Iterable[DecodedPacket]) -> FlowTable:
     """Assemble an iterable of decoded packets into a flow table."""
-    table = FlowTable()
-    for packet in packets:
-        table.add(packet)
-    return table
+    return FlowTable.from_packets(packets)

@@ -1,0 +1,206 @@
+"""Decode-once capture indexing: one pass, many analyses.
+
+The paper's post-processing (§4–§6) is a stack of independent analyses
+over the same AP capture.  Naively each analysis re-walks every decoded
+packet, re-stringifies MAC addresses, re-derives ports/flags, and
+re-classifies payloads.  :class:`CaptureIndex` does that work exactly
+once: a single chronological pass over the decoded packets produces
+
+* :class:`PacketRow` derived columns (src/dst MAC strings, IPs, ports,
+  transport, unicast/broadcast flags, a :func:`~repro.net.decode.quick_protocol`
+  tag) so analyses stop re-evaluating ``DecodedPacket`` properties;
+* per-source-MAC buckets (``by_src_mac``) — the §3.1 per-MAC split;
+* per-protocol buckets (``by_protocol``) keyed by the quick tag;
+* chronological filtered views (``arp``, ``udp``, ``tcp_payload``,
+  ``transport_unicast``, ``transport_multicast``) that preserve capture
+  order, so analyses that append examples or create groups in
+  first-seen order produce results byte-identical to a full scan;
+* a lazily assembled :class:`~repro.net.flows.FlowTable` (absorbing
+  :func:`~repro.net.flows.assemble_flows`) shared by flow-level
+  consumers;
+* lazily memoized per-packet classifier labels (the corrected
+  nDPI+manual labels), so the classification pass runs once instead of
+  once per analysis.
+
+Every analysis entry point under ``repro.core`` and
+``repro.classify.crossval`` accepts either a plain iterable of
+``DecodedPacket`` (back-compat: an index is built on the fly) or a
+prebuilt ``CaptureIndex`` (the fast path ``StudyPipeline`` uses via
+``ApCapture.index()``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.net.decode import DecodedPacket, quick_protocol
+from repro.net.flows import FlowTable
+
+#: Sentinel distinguishing "label not computed yet" from "classifier
+#: returned None" (a legitimate outcome).
+_UNSET = object()
+
+
+class PacketRow:
+    """One decoded packet plus its precomputed derived columns.
+
+    ``DecodedPacket`` exposes everything as properties that chase the
+    layer chain on every access; a row evaluates each exactly once at
+    index-build time.  ``label`` is filled lazily by
+    :meth:`CaptureIndex.label_of` (most rows of a capture get labelled
+    by at least one analysis, but raw-list callers that never classify
+    should not pay for it).
+    """
+
+    __slots__ = (
+        "packet", "timestamp", "src", "dst", "protocol", "transport",
+        "src_ip", "dst_ip", "src_port", "dst_port",
+        "is_unicast", "is_broadcast", "_label",
+    )
+
+    def __init__(self, packet: DecodedPacket):
+        frame = packet.frame
+        self.packet = packet
+        self.timestamp = packet.timestamp
+        self.src = str(frame.src)
+        self.dst = str(frame.dst)
+        self.protocol = quick_protocol(packet)
+        self.transport = packet.transport
+        self.src_ip = packet.src_ip
+        self.dst_ip = packet.dst_ip
+        self.src_port = packet.src_port
+        self.dst_port = packet.dst_port
+        self.is_unicast = packet.is_unicast
+        self.is_broadcast = packet.is_broadcast
+        self._label = _UNSET
+
+    def __repr__(self) -> str:  # debugging aid, not used on hot paths
+        return (f"PacketRow(t={self.timestamp:.3f}, {self.src}->{self.dst}, "
+                f"{self.protocol})")
+
+
+class CaptureIndex:
+    """A single-pass index over one decoded capture.
+
+    Chronological order is the capture order; every bucket and filtered
+    view preserves it, which is what makes index-consuming analyses
+    byte-identical to their full-scan equivalents.
+    """
+
+    def __init__(self, packets: Iterable[DecodedPacket], classifier=None):
+        self.packets: List[DecodedPacket] = list(packets)
+        self.rows: List[PacketRow] = []
+        #: src MAC string -> chronological rows sent by that MAC.
+        self.by_src_mac: Dict[str, List[PacketRow]] = {}
+        #: quick_protocol tag -> chronological rows.
+        self.by_protocol: Dict[str, List[PacketRow]] = {}
+        #: Chronological filtered views (see module docstring).
+        self.arp: List[PacketRow] = []
+        self.udp: List[PacketRow] = []
+        self.tcp_payload: List[PacketRow] = []
+        self.transport_unicast: List[PacketRow] = []
+        self.transport_multicast: List[PacketRow] = []
+        self._classifier = classifier
+        self._flows: Optional[FlowTable] = None
+
+        rows = self.rows
+        by_src = self.by_src_mac
+        by_proto = self.by_protocol
+        for packet in self.packets:
+            row = PacketRow(packet)
+            rows.append(row)
+            bucket = by_src.get(row.src)
+            if bucket is None:
+                bucket = by_src[row.src] = []
+            bucket.append(row)
+            bucket = by_proto.get(row.protocol)
+            if bucket is None:
+                bucket = by_proto[row.protocol] = []
+            bucket.append(row)
+            if packet.arp is not None:
+                self.arp.append(row)
+            if packet.udp is not None:
+                self.udp.append(row)
+            elif packet.tcp is not None and packet.tcp.payload:
+                self.tcp_payload.append(row)
+            if row.transport is not None:
+                if row.is_unicast:
+                    self.transport_unicast.append(row)
+                else:
+                    self.transport_multicast.append(row)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def ensure(cls, packets: Union["CaptureIndex", Iterable[DecodedPacket]]) -> "CaptureIndex":
+        """Pass a prebuilt index through; wrap a raw packet iterable."""
+        if isinstance(packets, cls):
+            return packets
+        return cls(packets)
+
+    # -- size ---------------------------------------------------------------------
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- classification (memoized) --------------------------------------------------
+
+    @property
+    def classifier(self):
+        """The corrected classifier whose labels this index memoizes."""
+        if self._classifier is None:
+            from repro.classify.rules import CorrectedClassifier
+
+            self._classifier = CorrectedClassifier()
+        return self._classifier
+
+    def label_of(self, row: PacketRow, classifier=None):
+        """The corrected-classifier label of one row, computed once.
+
+        A caller-supplied ``classifier`` different from the index's own
+        bypasses the memo (its labels would not be comparable), exactly
+        matching the legacy per-analysis behaviour.
+        """
+        if classifier is not None and classifier is not self._classifier:
+            return classifier.classify_packet(row.packet)
+        label = row._label
+        if label is _UNSET:
+            # Classification is pure, so a concurrent duplicate compute
+            # writes the same value — benign under the GIL.
+            label = row._label = self.classifier.classify_packet(row.packet)
+        return label
+
+    def ensure_labels(self) -> None:
+        """Classify every row eagerly (one pass, main thread).
+
+        ``StudyPipeline`` calls this before fanning analyses out to a
+        thread pool so workers read memoized labels instead of racing
+        to compute them.
+        """
+        classify = self.classifier.classify_packet
+        for row in self.rows:
+            if row._label is _UNSET:
+                row._label = classify(row.packet)
+
+    # -- flows (lazy, assembled once) ------------------------------------------------
+
+    @property
+    def flows(self) -> FlowTable:
+        """The capture's flow table, assembled on first use and shared."""
+        if self._flows is None:
+            self._flows = FlowTable.from_packets(self.packets)
+        return self._flows
+
+    # -- convenience queries ----------------------------------------------------------
+
+    def rows_from(self, mac: str) -> List[PacketRow]:
+        """Chronological rows whose source MAC is ``mac`` (string form)."""
+        return self.by_src_mac.get(mac, [])
+
+    def protocol_counts(self) -> Dict[str, int]:
+        """Packet counts per quick-protocol tag (telemetry/benchmarks)."""
+        return {tag: len(rows) for tag, rows in self.by_protocol.items()}

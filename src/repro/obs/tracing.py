@@ -20,6 +20,7 @@ excluded) or as a Chrome ``trace_event`` file loadable in
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional
@@ -78,7 +79,14 @@ class Span:
 
 
 class Tracer:
-    """Records a forest of spans; one instance per observed run."""
+    """Records a forest of spans; one instance per observed run.
+
+    Thread-aware: the open-span stack is thread-local, so concurrent
+    workers (e.g. ``StudyPipeline``'s analysis fan-out) can each open
+    spans without corrupting one another's nesting.  A worker span nests
+    under a span owned by another thread by passing it explicitly as
+    ``_parent``.
+    """
 
     enabled = True
 
@@ -88,7 +96,8 @@ class Tracer:
         self._wall_clock = wall_clock
         self._wall_epoch = wall_clock()
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
 
     def set_sim_clock(self, sim_clock: Optional[Callable[[], float]]) -> None:
         """Late-bind the simulated clock (the Simulator is often built
@@ -99,18 +108,35 @@ class Tracer:
         return self._sim_clock() if self._sim_clock is not None else None
 
     @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
     def current(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        """The innermost open span *on the calling thread*."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     @contextmanager
-    def span(self, name: str, **attrs: object) -> Iterator[Span]:
-        parent = self.current
+    def span(self, name: str, _parent: Optional[Span] = None,
+             **attrs: object) -> Iterator[Span]:
+        """Open a span nested under the calling thread's current span.
+
+        ``_parent`` overrides the implicit nesting — used by worker
+        threads to attach their spans under a coordinator-owned span.
+        """
+        parent = _parent if _parent is not None else self.current
         record = Span(name, dict(attrs), parent, self._sim_now(), self._wall_clock())
         if parent is None:
-            self.roots.append(record)
+            with self._roots_lock:
+                self.roots.append(record)
         else:
-            parent.children.append(record)
-        self._stack.append(record)
+            parent.children.append(record)  # list.append is atomic (GIL)
+        stack = self._stack
+        stack.append(record)
         try:
             yield record
         except BaseException:
@@ -118,8 +144,14 @@ class Tracer:
             raise
         finally:
             record.sim_end = self._sim_now()
+            # A span opened before the sim clock was installed (e.g. the
+            # pipeline's build stage, which creates the Simulator that
+            # *becomes* the clock) is attributed zero sim time up to the
+            # clock's appearance rather than staying clockless.
+            if record.sim_start is None and record.sim_end is not None:
+                record.sim_start = record.sim_end
             record.wall_end = self._wall_clock()
-            self._stack.pop()
+            stack.pop()
 
     # -- queries ------------------------------------------------------------------
 

@@ -5,26 +5,119 @@ captured traffic is stored in separate files for each MAC address,
 enabling us to distinguish traffic from individual devices."  This
 module reproduces both the global capture and the per-MAC split, and
 can persist either as classic pcap files.
+
+Decode-once contract: :meth:`ApCapture.decoded` memoizes the decode of
+every frame, extends incrementally as new frames are observed, and
+invalidates on :meth:`ApCapture.clear`.  ``per_mac``/``packets_of``
+reuse the cached :class:`~repro.net.decode.DecodedPacket` objects, and
+:meth:`ApCapture.index` layers a cached
+:class:`~repro.net.index.CaptureIndex` on top, so the whole analysis
+stack downstream decodes each frame exactly once per run.  Large decode
+backlogs fan out over a thread pool in order-preserving chunks (see
+``docs/performance.md`` for the thresholds and env knobs).
 """
 
 from __future__ import annotations
 
+import os
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.net.decode import DecodedPacket, decode_frame
-from repro.net.ether import EthernetFrame
+from repro.net.decode import DecodedPacket, decode_records
+from repro.net.index import CaptureIndex
 from repro.net.mac import MacAddress
 from repro.net.pcap import PcapWriter
 from repro.obs import get_obs
 
 
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+#: Backlogs below the threshold decode serially — thread-pool dispatch
+#: has a fixed cost that small test captures should never pay.
+DEFAULT_PARALLEL_THRESHOLD = 50_000
+#: Records per worker-chunk when decoding in parallel.
+DEFAULT_DECODE_CHUNK = 8_192
+
+
+class RecordsView(Sequence):
+    """A read-only, live view of the capture's ``(timestamp, bytes)`` records.
+
+    Replaces the old ``list(...)`` copy that ``ApCapture.records``
+    rebuilt on every property access (O(n) per call on the hot path).
+    The view compares equal to lists/tuples of the same records so
+    existing ``capture.records == []``-style assertions keep working,
+    but offers no mutating methods — the capture owns the storage.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records: List[Tuple[float, bytes]]):
+        self._records = records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return list(self._records[item])
+        return self._records[item]
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RecordsView):
+            return self._records == other._records
+        if isinstance(other, (list, tuple)):
+            return self._records == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable view: unhashable, like a list
+
+    def __repr__(self) -> str:
+        return f"RecordsView({self._records!r})"
+
+
 class ApCapture:
     """Collects every frame crossing the AP, with per-MAC indexing."""
 
-    def __init__(self, keep_bytes: bool = True):
+    def __init__(
+        self,
+        keep_bytes: bool = True,
+        parallel_threshold: Optional[int] = None,
+        decode_chunk_size: Optional[int] = None,
+        decode_workers: Optional[int] = None,
+    ):
         self.keep_bytes = keep_bytes
+        #: Minimum decode backlog before the thread pool is used.
+        self.parallel_threshold = (
+            parallel_threshold if parallel_threshold is not None
+            else _env_int("REPRO_DECODE_PARALLEL_THRESHOLD", DEFAULT_PARALLEL_THRESHOLD)
+        )
+        #: Records per chunk when decoding in parallel.
+        self.decode_chunk_size = (
+            decode_chunk_size if decode_chunk_size is not None
+            else _env_int("REPRO_DECODE_CHUNK", DEFAULT_DECODE_CHUNK)
+        )
+        #: Worker count for parallel decode; 0 means ``os.cpu_count()``.
+        self.decode_workers = (
+            decode_workers if decode_workers is not None
+            else _env_int("REPRO_DECODE_WORKERS", 0)
+        )
         self._records: List[Tuple[float, bytes]] = []
+        self._decoded: List[DecodedPacket] = []
+        self._decoded_upto = 0
+        self._index: Optional[CaptureIndex] = None
         self.packet_count = 0
         self.byte_count = 0
         obs = get_obs()
@@ -35,6 +128,17 @@ class ApCapture:
                 "frames_observed_total", "every frame seen by the AP capture")
             self._bytes_observed_total = metrics.counter(
                 "bytes_observed_total", "bytes seen by the AP capture")
+            self._decode_cache_hits = metrics.counter(
+                "decode_cache_hits_total",
+                "frames served from the decode cache instead of re-decoding")
+            self._decode_cache_misses = metrics.counter(
+                "decode_cache_misses_total",
+                "frames decoded for the first time (cache fills)")
+            self._decode_chunks_total = metrics.counter(
+                "decode_chunks_total", "decode batches executed, per mode")
+            self._decode_pool_workers = metrics.gauge(
+                "decode_pool_workers",
+                "thread-pool width of the most recent parallel decode")
 
     def observe(self, timestamp: float, frame_bytes: bytes) -> None:
         self.packet_count += 1
@@ -48,35 +152,82 @@ class ApCapture:
     # -- access -----------------------------------------------------------------
 
     @property
-    def records(self) -> List[Tuple[float, bytes]]:
-        return list(self._records)
+    def records(self) -> RecordsView:
+        """Read-only view of the raw records (no per-access copy)."""
+        return RecordsView(self._records)
 
     def decoded(self) -> List[DecodedPacket]:
-        """Decode the full capture (chronological order)."""
-        return [decode_frame(data, ts) for ts, data in self._records]
+        """Decode the full capture (chronological order), memoized.
+
+        Each frame is decoded exactly once: repeated calls return the
+        same list object, which extends in place as new frames are
+        observed and empties on :meth:`clear`.  Callers must treat the
+        returned list as read-only.
+        """
+        total = len(self._records)
+        cached = self._decoded_upto
+        if cached < total:
+            self._decoded.extend(self._decode_backlog(self._records[cached:total]))
+            self._decoded_upto = total
+        if self._obs.enabled:
+            if cached:
+                self._decode_cache_hits.inc(cached)
+            if total - cached:
+                self._decode_cache_misses.inc(total - cached)
+        return self._decoded
+
+    def _decode_backlog(self, records: List[Tuple[float, bytes]]) -> List[DecodedPacket]:
+        """Decode a backlog serially, or in order-preserving parallel chunks."""
+        threshold = self.parallel_threshold
+        if threshold <= 0 or len(records) < threshold:
+            if self._obs.enabled:
+                self._decode_chunks_total.inc(mode="serial")
+            return decode_records(records)
+        chunk_size = max(1, self.decode_chunk_size)
+        chunks = [records[i:i + chunk_size] for i in range(0, len(records), chunk_size)]
+        workers = self.decode_workers or os.cpu_count() or 1
+        workers = max(1, min(workers, len(chunks)))
+        out: List[DecodedPacket] = []
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves submission order, so the
+            # concatenation below reproduces capture order exactly.
+            for part in pool.map(decode_records, chunks):
+                out.extend(part)
+        if self._obs.enabled:
+            self._decode_chunks_total.inc(len(chunks), mode="parallel")
+            self._decode_pool_workers.set(workers)
+        return out
+
+    def index(self) -> CaptureIndex:
+        """The capture's :class:`CaptureIndex`, built once per snapshot.
+
+        Rebuilt only when new frames were observed since the last call;
+        the underlying decode cache is always reused.
+        """
+        packets = self.decoded()
+        if self._index is None or self._index.packet_count != len(packets):
+            self._index = CaptureIndex(packets)
+        return self._index
 
     def per_mac(self) -> Dict[MacAddress, List[Tuple[float, bytes]]]:
         """Split the capture per source/destination MAC, as the testbed does.
 
         A frame appears in the file of its source MAC and, when unicast,
         also in the destination's file (the AP attributes both ends).
+        Reuses the decode cache instead of re-parsing Ethernet headers.
         """
         split: Dict[MacAddress, List[Tuple[float, bytes]]] = {}
-        for timestamp, data in self._records:
-            frame = EthernetFrame.decode(data)
-            split.setdefault(frame.src, []).append((timestamp, data))
+        for packet, record in zip(self.decoded(), self._records):
+            frame = packet.frame
+            split.setdefault(frame.src, []).append(record)
             if not frame.dst.is_multicast:
-                split.setdefault(frame.dst, []).append((timestamp, data))
+                split.setdefault(frame.dst, []).append(record)
         return split
 
     def packets_of(self, mac) -> List[DecodedPacket]:
-        """Decoded packets sent *by* the given MAC."""
+        """Decoded packets sent *by* the given MAC (from the cache)."""
         wanted = MacAddress(mac)
-        return [
-            decode_frame(data, ts)
-            for ts, data in self._records
-            if EthernetFrame.decode(data).src == wanted
-        ]
+        return [packet for packet in self.decoded() if packet.frame.src == wanted]
 
     # -- persistence --------------------------------------------------------------
 
@@ -102,5 +253,8 @@ class ApCapture:
 
     def clear(self) -> None:
         self._records.clear()
+        self._decoded.clear()
+        self._decoded_upto = 0
+        self._index = None
         self.packet_count = 0
         self.byte_count = 0

@@ -106,3 +106,66 @@ class TestTelemetryField:
                                  obs=enable_observability()).run()
         assert observed.capture_packets == plain.capture_packets
         assert observed.device_graph.summary() == plain.device_graph.summary()
+
+
+class TestDecodeOnceTelemetry:
+    def test_decode_index_span_nests_under_passive(self, observed_run):
+        obs, _ = observed_run
+        spans = obs.tracer.find("capture.decode_index")
+        assert len(spans) == 1
+        assert spans[0].parent.name == "pipeline.passive_capture"
+
+    def test_analysis_spans_nest_under_analysis_stage(self, observed_run):
+        obs, _ = observed_run
+        stage = obs.tracer.find("pipeline.analysis")[0]
+        names = {child.name for child in stage.children}
+        assert {"analysis.device_graph", "analysis.exposure",
+                "analysis.responses", "analysis.periodicity",
+                "analysis.crossval", "analysis.threat"} <= names
+        for child in stage.children:
+            if child.name.startswith("analysis."):
+                assert child.wall_duration is not None
+
+    def test_decode_cache_counters(self, observed_run):
+        obs, report = observed_run
+        misses = obs.metrics.get("capture_decode_cache_misses_total")
+        assert misses is not None
+        # Every captured frame was decoded exactly once.
+        assert misses.total() == report.capture_packets
+        chunks = obs.metrics.get("capture_decode_chunks_total")
+        assert chunks is not None and chunks.total() >= 1
+
+    def test_analysis_pool_metrics(self, observed_run):
+        obs, _ = observed_run
+        tasks = obs.metrics.get("pipeline_analysis_tasks_total")
+        assert tasks is not None and tasks.total() == 6
+        workers = obs.metrics.get("pipeline_analysis_pool_workers")
+        assert workers is not None and workers.value() >= 1
+
+
+class TestSerialParallelEquivalence:
+    def test_serial_fanout_produces_identical_artifacts(self, monkeypatch):
+        """REPRO_ANALYSIS_PARALLEL=0 must not change any artifact."""
+        parallel = StudyPipeline(seed=31, passive_duration=60.0,
+                                 app_sample_size=4,
+                                 deploy_honeypots=False).run()
+        monkeypatch.setenv("REPRO_ANALYSIS_PARALLEL", "0")
+        serial = StudyPipeline(seed=31, passive_duration=60.0,
+                               app_sample_size=4,
+                               deploy_honeypots=False).run()
+        assert serial.capture_packets == parallel.capture_packets
+        assert serial.device_graph.summary() == parallel.device_graph.summary()
+        assert serial.exposure.cells == parallel.exposure.cells
+        assert serial.exposure.examples == parallel.exposure.examples
+        assert serial.responses.by_category() == parallel.responses.by_category()
+        assert [
+            (d.device, d.destination, d.protocol, d.is_periodic, d.period)
+            for d in serial.periodicity.detections
+        ] == [
+            (d.device, d.destination, d.protocol, d.is_periodic, d.period)
+            for d in parallel.periodicity.detections
+        ]
+        assert serial.crossval.confusion == parallel.crossval.confusion
+        assert serial.threat.plaintext_http_devices == \
+            parallel.threat.plaintext_http_devices
+        assert serial.census.passive == parallel.census.passive

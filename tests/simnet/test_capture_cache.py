@@ -1,0 +1,164 @@
+"""The decode-once cache and records view of :class:`ApCapture`.
+
+Covers the tentpole contract: ``decoded()`` decodes each frame exactly
+once, extends incrementally on new ``observe()`` calls, invalidates on
+``clear()``; ``index()`` is rebuilt only when the capture grew; the
+chunked-parallel decode path is byte-identical to the serial one; and
+``records`` is a live read-only view, not a per-access copy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.ether import EtherType, EthernetFrame
+from repro.net.ipv4 import Ipv4Packet
+from repro.net.mac import MacAddress
+from repro.net.udp import UdpDatagram
+from repro.obs import enable_observability, use_obs
+from repro.simnet.capture import ApCapture, RecordsView
+
+
+def _frame(index: int) -> bytes:
+    """A minimal UDP-in-IPv4 frame with a distinguishable payload."""
+    datagram = UdpDatagram(src_port=1000 + index, dst_port=2000,
+                           payload=f"payload-{index}".encode())
+    ip = Ipv4Packet(src="192.168.10.10", dst="192.168.10.20",
+                    protocol=17, payload=datagram.encode())
+    return EthernetFrame(
+        src=MacAddress("02:aa:00:00:00:01"),
+        dst=MacAddress("02:aa:00:00:00:02"),
+        ethertype=EtherType.IPV4,
+        payload=ip.encode(),
+    ).encode()
+
+
+def _fill(capture: ApCapture, count: int, start: int = 0) -> None:
+    for i in range(start, start + count):
+        capture.observe(float(i), _frame(i))
+
+
+class TestDecodeCache:
+    def test_decoded_identity_across_calls(self):
+        capture = ApCapture()
+        _fill(capture, 5)
+        first = capture.decoded()
+        assert capture.decoded() is first  # memo: the very same list
+
+    def test_incremental_extension(self):
+        capture = ApCapture()
+        _fill(capture, 3)
+        packets = capture.decoded()
+        before = list(packets)
+        _fill(capture, 2, start=3)
+        again = capture.decoded()
+        assert again is packets  # extended in place, not rebuilt
+        assert len(again) == 5
+        assert again[:3] == before  # prefix untouched: not re-decoded
+        assert [p.timestamp for p in again] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_clear_invalidates(self):
+        capture = ApCapture()
+        _fill(capture, 4)
+        packets = capture.decoded()
+        assert len(packets) == 4
+        capture.clear()
+        assert capture.decoded() == []
+        _fill(capture, 2, start=10)
+        assert [p.timestamp for p in capture.decoded()] == [10.0, 11.0]
+
+    def test_per_mac_and_packets_of_reuse_cache(self):
+        capture = ApCapture()
+        _fill(capture, 4)
+        cached = capture.decoded()
+        sent = capture.packets_of("02:aa:00:00:00:01")
+        assert all(any(p is c for c in cached) for p in sent)
+        split = capture.per_mac()
+        assert MacAddress("02:aa:00:00:00:01") in split
+        assert MacAddress("02:aa:00:00:00:02") in split
+
+    def test_parallel_decode_matches_serial(self):
+        serial = ApCapture(parallel_threshold=0)
+        parallel = ApCapture(parallel_threshold=1, decode_chunk_size=16,
+                             decode_workers=4)
+        _fill(serial, 100)
+        _fill(parallel, 100)
+        a = serial.decoded()
+        b = parallel.decoded()
+        assert len(a) == len(b) == 100
+        assert [p.timestamp for p in a] == [p.timestamp for p in b]
+        assert [p.udp.payload for p in a] == [p.udp.payload for p in b]
+
+    def test_parallel_incremental_extension(self):
+        capture = ApCapture(parallel_threshold=1, decode_chunk_size=8)
+        _fill(capture, 30)
+        packets = capture.decoded()
+        _fill(capture, 30, start=30)
+        assert capture.decoded() is packets
+        assert [p.timestamp for p in packets] == [float(i) for i in range(60)]
+
+    def test_index_cached_until_capture_grows(self):
+        capture = ApCapture()
+        _fill(capture, 5)
+        index = capture.index()
+        assert capture.index() is index  # unchanged capture: cache hit
+        _fill(capture, 1, start=5)
+        rebuilt = capture.index()
+        assert rebuilt is not index
+        assert len(rebuilt) == 6
+        capture.clear()
+        assert len(capture.index()) == 0
+
+    def test_cache_metrics(self):
+        obs = enable_observability()
+        with use_obs(obs):
+            capture = ApCapture()
+            _fill(capture, 10)
+            capture.decoded()   # 10 misses
+            capture.decoded()   # 10 hits
+            _fill(capture, 5, start=10)
+            capture.decoded()   # 10 hits + 5 misses
+        snapshot = obs.metrics.to_dict()
+        hits = snapshot["capture_decode_cache_hits_total"]["samples"]
+        misses = snapshot["capture_decode_cache_misses_total"]["samples"]
+        assert sum(s["value"] for s in hits) == 20
+        assert sum(s["value"] for s in misses) == 15
+
+
+class TestRecordsView:
+    def test_records_is_live_view_not_copy(self):
+        capture = ApCapture()
+        view = capture.records
+        assert isinstance(view, RecordsView)
+        assert len(view) == 0
+        _fill(capture, 3)
+        assert len(view) == 3  # live: sees frames observed after creation
+
+    def test_equality_with_lists_and_views(self):
+        capture = ApCapture()
+        _fill(capture, 2)
+        view = capture.records
+        assert view == list(view)
+        assert view == capture.records
+        assert view != []
+        assert ApCapture().records == []
+
+    def test_indexing_slicing_iteration(self):
+        capture = ApCapture()
+        _fill(capture, 4)
+        view = capture.records
+        assert view[0][0] == 0.0
+        assert view[-1][0] == 3.0
+        assert [t for t, _ in view] == [0.0, 1.0, 2.0, 3.0]
+        assert isinstance(view[1:3], list) and len(view[1:3]) == 2
+
+    def test_view_is_immutable(self):
+        capture = ApCapture()
+        _fill(capture, 2)
+        view = capture.records
+        with pytest.raises((TypeError, AttributeError)):
+            view[0] = (9.0, b"")
+        with pytest.raises(AttributeError):
+            view.append((9.0, b""))
+        with pytest.raises(TypeError):
+            hash(view)
