@@ -4,6 +4,7 @@ Installed as the ``repro`` console script::
 
     repro study        [--seed N] [--duration SECONDS] [--apps N]
                        [--metrics-out PATH] [--trace-out PATH] [--log-level LEVEL]
+                       [--fault-plan PATH] [--keep-going | --fail-fast]
     repro classify     PCAP [--crossval]
     repro scan         [--seed N]
     repro fingerprint  [--seed N] [--mitigation NAME]
@@ -65,6 +66,21 @@ def _write_observability_outputs(obs, args: argparse.Namespace) -> None:
         print(f"trace written to {args.trace_out}", file=sys.stderr)
 
 
+def _load_fault_plan(path: Optional[str]):
+    """Load + validate a fault plan file; returns (plan, error_message)."""
+    if not path:
+        return None, None
+    from repro.faults import FaultPlan
+    from repro.faults.plan import FaultPlanError
+
+    try:
+        return FaultPlan.load(path), None
+    except OSError as error:
+        return None, f"--fault-plan: cannot read {path}: {error}"
+    except FaultPlanError as error:
+        return None, f"--fault-plan: invalid plan: {error}"
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.core.pipeline import StudyPipeline
     from repro.report.tables import (
@@ -79,6 +95,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if error:
         print(f"repro study: error: {error}", file=sys.stderr)
         return 2
+    fault_plan, error = _load_fault_plan(getattr(args, "fault_plan", None))
+    if error:
+        print(f"repro study: error: {error}", file=sys.stderr)
+        return 2
     obs = _build_observability(args)
     pipeline = StudyPipeline(
         seed=args.seed,
@@ -86,39 +106,62 @@ def _cmd_study(args: argparse.Namespace) -> int:
         app_sample_size=args.apps,
         include_crowdsourced=args.crowdsourced,
         obs=obs,
+        fault_plan=fault_plan,
+        keep_going=not args.fail_fast,
     )
     report = pipeline.run()
     _write_observability_outputs(obs, args)
-    summary = report.device_graph.summary()
-    print(render_comparison([
-        ("devices communicating locally (Fig. 1)", "43/93",
-         f"{summary['devices_communicating']}/{summary['devices_total']}"),
-        ("classifier disagreement (Fig. 3)", "16%",
-         f"{report.crossval.disagree_fraction:.0%}"),
-        ("devices with open ports (§4.2)", 61, report.scan_report.devices_with_open_ports),
-        ("local TLS devices (§5.2)", 32, report.threat.tls_device_count),
-        ("periodic discovery flows (App. D.1)", "88%",
-         f"{report.periodicity.periodic_fraction:.0%}"),
-    ], title="Headline results — paper vs this run"))
+    rows = []
+    if report.device_graph is not None:
+        summary = report.device_graph.summary()
+        rows.append(("devices communicating locally (Fig. 1)", "43/93",
+                     f"{summary['devices_communicating']}/{summary['devices_total']}"))
+    if report.crossval is not None:
+        rows.append(("classifier disagreement (Fig. 3)", "16%",
+                     f"{report.crossval.disagree_fraction:.0%}"))
+    rows.append(("devices with open ports (§4.2)", 61,
+                 report.scan_report.devices_with_open_ports))
+    if report.threat is not None:
+        rows.append(("local TLS devices (§5.2)", 32, report.threat.tls_device_count))
+    if report.periodicity is not None:
+        rows.append(("periodic discovery flows (App. D.1)", "88%",
+                     f"{report.periodicity.periodic_fraction:.0%}"))
+    print(render_comparison(rows, title="Headline results — paper vs this run"))
     from repro.report.figures import render_figure2_bars, render_figure3_heatmap
 
     print()
     print(render_figure2_bars(report.census))
     print()
     print(render_figure2(report.census, top=20))
-    print()
-    print(render_table1(report.exposure))
-    print()
-    print(render_table4(report.responses))
-    print()
-    print(render_figure3(report.crossval))
-    print()
-    print(render_figure3_heatmap(report.crossval))
+    if report.exposure is not None:
+        print()
+        print(render_table1(report.exposure))
+    if report.responses is not None:
+        print()
+        print(render_table4(report.responses))
+    if report.crossval is not None:
+        print()
+        print(render_figure3(report.crossval))
+        print()
+        print(render_figure3_heatmap(report.crossval))
     if report.fingerprint is not None:
         from repro.report.tables import render_table2
 
         print()
         print(render_table2(report.fingerprint))
+    if report.fault_summary is not None:
+        counts = report.fault_summary.get("counts", {})
+        detail = ", ".join(f"{kind}={count}" for kind, count in sorted(counts.items()))
+        print()
+        print(f"fault plan {report.fault_summary['plan']!r}: "
+              f"{report.fault_summary['total']} faults injected"
+              + (f" ({detail})" if detail else ""))
+    if report.failures:
+        print()
+        print(f"{len(report.failures)} analysis failure(s) isolated "
+              f"(partial report):", file=sys.stderr)
+        for failure in report.failures:
+            print(f"  {failure.analysis}: {failure.error}", file=sys.stderr)
     return 0
 
 
@@ -259,7 +302,16 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["debug", "info", "warning", "error"],
                        help="enable structured logging at this level "
                             "(per-subsystem overrides via REPRO_LOG=sim=debug,...)")
-    study.set_defaults(func=_cmd_study)
+    study.add_argument("--fault-plan", metavar="PATH", default=None,
+                       help="inject faults from a JSON fault plan "
+                            "(see docs/resilience.md)")
+    going = study.add_mutually_exclusive_group()
+    going.add_argument("--keep-going", dest="fail_fast", action="store_false",
+                       help="isolate analysis failures into a partial report "
+                            "(default)")
+    going.add_argument("--fail-fast", dest="fail_fast", action="store_true",
+                       help="re-raise the first analysis failure")
+    study.set_defaults(func=_cmd_study, fail_fast=False)
 
     classify = sub.add_parser("classify", help="classify any classic-pcap capture")
     classify.add_argument("pcap", help="path to a pcap file")

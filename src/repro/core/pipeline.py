@@ -11,10 +11,11 @@ from __future__ import annotations
 import os
 import random
 import time
+import traceback as _traceback
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps.dataset import generate_app_dataset
 from repro.apps.runtime import AppRunResult, InstrumentedPhone
@@ -37,6 +38,7 @@ from repro.core.responses import (
 )
 from repro.core.threat_report import ThreatReport, build_threat_report
 from repro.devices.behaviors import Testbed, build_testbed
+from repro.faults import FaultInjector, FaultPlan
 from repro.net.index import CaptureIndex
 from repro.obs import NULL_OBS, Observability, use_obs
 from repro.honeypot.farm import HoneypotFarm
@@ -52,24 +54,47 @@ def _env_flag(name: str, default: bool) -> bool:
 
 
 @dataclass
+class AnalysisFailure:
+    """One analysis that raised and was isolated (keep-going mode)."""
+
+    analysis: str
+    error: str
+    traceback: str = ""
+
+
+@dataclass
 class StudyReport:
-    """Every analysis artifact the pipeline produces."""
+    """Every analysis artifact the pipeline produces.
+
+    Analysis fields are ``Optional``: in keep-going mode a failed
+    analysis leaves its slot ``None`` and records an
+    :class:`AnalysisFailure` in :attr:`failures` while its siblings
+    complete — a partial report instead of a crashed study.
+    """
 
     census: ProtocolCensus
-    device_graph: DeviceGraph
-    exposure: ExposureMatrix
-    responses: ResponseCorrelation
-    periodicity: PeriodicityResult
-    crossval: CrossValidation
-    threat: ThreatReport
+    device_graph: Optional[DeviceGraph]
+    exposure: Optional[ExposureMatrix]
+    responses: Optional[ResponseCorrelation]
+    periodicity: Optional[PeriodicityResult]
+    crossval: Optional[CrossValidation]
+    threat: Optional[ThreatReport]
     scan_report: ScanReport
     exfiltration: ExfiltrationAudit
     fingerprint: Optional[FingerprintReport] = None
     honeypot_contacts: int = 0
     capture_packets: int = 0
+    #: Analyses that raised and were isolated instead of aborting the run.
+    failures: List[AnalysisFailure] = field(default_factory=list)
+    #: ``FaultInjector.summary()`` when a fault plan was installed.
+    fault_summary: Optional[Dict[str, object]] = None
     #: Populated when the pipeline runs with observability enabled:
     #: ``{"stages": {...}, "metrics": {...}, "spans": [...]}``.
     telemetry: Optional[Dict[str, object]] = None
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
 
 
 class StudyPipeline:
@@ -93,6 +118,8 @@ class StudyPipeline:
         deploy_honeypots: bool = True,
         include_crowdsourced: bool = False,
         obs: Optional[Observability] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        keep_going: bool = True,
     ):
         self.seed = seed
         self.passive_duration = passive_duration
@@ -100,13 +127,27 @@ class StudyPipeline:
         self.deploy_honeypots = deploy_honeypots
         self.include_crowdsourced = include_crowdsourced
         self.obs = obs if obs is not None else NULL_OBS
+        #: Validated chaos plan; None (or an empty plan) leaves the run
+        #: byte-identical to an un-injected study.
+        self.fault_plan = fault_plan
+        #: keep_going=True isolates analysis failures into the report;
+        #: False re-raises the first one (CI-style fail-fast).
+        self.keep_going = keep_going
+        self.injector: Optional[FaultInjector] = None
         self.testbed: Optional[Testbed] = None
         self.farm: Optional[HoneypotFarm] = None
+
+    @property
+    def faults_active(self) -> bool:
+        return self.injector is not None and self.injector.active
 
     # -- stages ---------------------------------------------------------------------
 
     def build(self) -> Testbed:
         self.testbed = build_testbed(seed=self.seed)
+        if self.fault_plan is not None:
+            self.injector = FaultInjector(self.fault_plan, seed=self.seed)
+            self.injector.install(self.testbed.lan)
         if self.deploy_honeypots:
             self.farm = HoneypotFarm.deploy(self.testbed.lan)
         if self.obs.enabled:
@@ -131,7 +172,12 @@ class StudyPipeline:
 
     def run_scans(self) -> ScanReport:
         assert self.testbed is not None
-        scanner = PortScanner()
+        if self.faults_active:
+            # Under chaos, probes can be lost or delayed: retry silent
+            # ports and let sim time advance so late replies land.
+            scanner = PortScanner(max_retries=2, wait_for_replies=True)
+        else:
+            scanner = PortScanner()
         self.testbed.lan.attach(scanner)
         # Active scans are a separate dataset; keep them out of the
         # passive capture, like running them when the lab is closed.
@@ -211,7 +257,7 @@ class StudyPipeline:
         maps: Dict[str, Dict[str, str]],
         findings,
         parent_span,
-    ) -> Dict[str, object]:
+    ) -> Tuple[Dict[str, object], List[AnalysisFailure]]:
         """Build the six independent capture analyses, concurrently.
 
         Each analysis reads the shared (immutable once labelled)
@@ -220,6 +266,13 @@ class StudyPipeline:
         analysis runs in its own ``analysis.<name>`` span, attached to
         the analysis stage span via ``_parent`` so worker-thread spans
         nest correctly.  All metric writes stay on the main thread.
+
+        A raising analysis no longer abandons its siblings: every task
+        runs to completion, failures come back as
+        :class:`AnalysisFailure` entries with the failed slot ``None``.
+        In fail-fast mode (``keep_going=False``) the first failure is
+        re-raised — after the siblings finished, so no work is torn
+        down mid-flight.
         """
         obs = self.obs
         tasks: Dict[str, Callable[[], object]] = {
@@ -238,32 +291,63 @@ class StudyPipeline:
                                  analysis=name):
                 return task()
 
-        if not _env_flag("REPRO_ANALYSIS_PARALLEL", True):
-            return {name: run_one(name, task) for name, task in tasks.items()}
-
-        # Classify (and assemble flows) once on the main thread so the
-        # workers only read the memoized columns.
-        index.ensure_labels()
-        workers = max(1, min(len(tasks), os.cpu_count() or 1))
         results: Dict[str, object] = {}
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                name: pool.submit(run_one, name, task)
-                for name, task in tasks.items()
-            }
-            for name, future in futures.items():
-                results[name] = future.result()
-                if obs.enabled:
-                    obs.metrics.counter(
-                        "pipeline_analysis_tasks_total",
-                        "capture analyses completed by the fan-out pool",
-                    ).inc(analysis=name)
-        if obs.enabled:
-            obs.metrics.gauge(
-                "pipeline_analysis_pool_workers",
-                "thread-pool width of the analysis fan-out",
-            ).set(workers)
-        return results
+        failures: List[AnalysisFailure] = []
+        errors: Dict[str, BaseException] = {}
+
+        if not _env_flag("REPRO_ANALYSIS_PARALLEL", True):
+            for name, task in tasks.items():
+                try:
+                    results[name] = run_one(name, task)
+                except Exception as exc:  # noqa: BLE001 - isolated below
+                    results[name] = None
+                    errors[name] = exc
+        else:
+            # Classify (and assemble flows) once on the main thread so
+            # the workers only read the memoized columns.
+            index.ensure_labels()
+            workers = max(1, min(len(tasks), os.cpu_count() or 1))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    name: pool.submit(run_one, name, task)
+                    for name, task in tasks.items()
+                }
+                for name, future in futures.items():
+                    try:
+                        results[name] = future.result()
+                    except Exception as exc:  # noqa: BLE001 - isolated below
+                        results[name] = None
+                        errors[name] = exc
+                    else:
+                        if obs.enabled:
+                            obs.metrics.counter(
+                                "pipeline_analysis_tasks_total",
+                                "capture analyses completed by the fan-out pool",
+                            ).inc(analysis=name)
+            if obs.enabled:
+                obs.metrics.gauge(
+                    "pipeline_analysis_pool_workers",
+                    "thread-pool width of the analysis fan-out",
+                ).set(workers)
+
+        for name, exc in errors.items():
+            failures.append(AnalysisFailure(
+                analysis=name,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback="".join(_traceback.format_exception(
+                    type(exc), exc, exc.__traceback__)),
+            ))
+            if obs.enabled:
+                obs.metrics.counter(
+                    "pipeline_analysis_failures_total",
+                    "analyses that raised and were isolated, per analysis",
+                ).inc(analysis=name)
+                obs.logger("pipeline").error(
+                    "analysis_failed", analysis=name,
+                    error=failures[-1].error)
+        if errors and not self.keep_going:
+            raise next(iter(errors.values()))
+        return results, failures
 
     # -- the full study ----------------------------------------------------------------
 
@@ -326,7 +410,8 @@ class StudyPipeline:
 
             with ExitStack() as stack:
                 analysis_span = self._stage(stack, "analysis")
-                analyses = self._run_analyses(index, maps, findings, analysis_span)
+                analyses, failures = self._run_analyses(
+                    index, maps, findings, analysis_span)
                 report = StudyReport(
                     census=census,
                     device_graph=analyses["device_graph"],
@@ -339,17 +424,22 @@ class StudyPipeline:
                     exfiltration=audit_app_runs(app_runs, total_apps=apps_total),
                     honeypot_contacts=self.farm.contact_count() if self.farm else 0,
                     capture_packets=len(index),
+                    failures=failures,
                 )
+                if self.injector is not None:
+                    report.fault_summary = self.injector.summary()
                 if self.include_crowdsourced:
                     report.fingerprint = fingerprint_households(seed=self.seed + 16)
                 for artifact in ("census", "device_graph", "exposure", "responses",
                                  "periodicity", "crossval", "threat", "exfiltration"):
-                    self._count_artifact(artifact)
+                    if analyses.get(artifact, True) is not None:
+                        self._count_artifact(artifact)
             if run_span is not None:
                 run_span.set_attr("capture_packets", report.capture_packets)
         if obs.enabled:
             report.telemetry = self._telemetry_snapshot()
             obs.logger("pipeline").info(
                 "run_complete", packets=report.capture_packets,
-                honeypot_contacts=report.honeypot_contacts)
+                honeypot_contacts=report.honeypot_contacts,
+                failed_analyses=len(report.failures))
         return report

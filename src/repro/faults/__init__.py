@@ -1,0 +1,47 @@
+"""``repro.faults`` — seed-deterministic fault injection and chaos plans.
+
+The simulated LAN is a perfect network by default; this package makes
+it misbehave *reproducibly*.  A declarative :class:`FaultPlan`
+(JSON-loadable, validated) schedules per-link loss/duplication/
+reorder/delay, byte truncation and bit corruption, malformed
+discovery-response mutation, device crash/restart flap windows, and
+unresponsive-port behaviour.  A :class:`FaultInjector` applies the plan
+inside ``Lan.transmit``, driven by a PRNG derived from the study seed,
+so the same seed + the same plan produces the identical fault schedule
+every run.  See ``docs/resilience.md`` for the schema and the
+degradation semantics of every consumer.
+"""
+
+from repro.faults.mutators import (
+    corrupt_bits,
+    mutate_discovery_payload,
+    mutate_udp_payload,
+    truncate_bytes,
+)
+from repro.faults.plan import (
+    DISCOVERY_PORTS,
+    DelaySpec,
+    DiscoveryMutation,
+    EMPTY_PLAN,
+    FaultPlan,
+    FlapWindow,
+    LinkFaults,
+    UnresponsivePort,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "DISCOVERY_PORTS",
+    "DelaySpec",
+    "DiscoveryMutation",
+    "EMPTY_PLAN",
+    "FaultInjector",
+    "FaultPlan",
+    "FlapWindow",
+    "LinkFaults",
+    "UnresponsivePort",
+    "corrupt_bits",
+    "mutate_discovery_payload",
+    "mutate_udp_payload",
+    "truncate_bytes",
+]

@@ -1,0 +1,108 @@
+"""Deterministic byte mutators: the damage primitives of the fault layer.
+
+Every mutator takes the caller's ``random.Random`` instance and draws
+from it in a fixed order, so a given RNG state always produces the same
+damage — the property the zero-fault-equivalence and fault-schedule
+reproducibility tests pin.  The same primitives double as the
+mutation-fuzz corpus generator for the parser robustness tests
+(``tests/faults/test_mutation_fuzz.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Optional
+
+
+def truncate_bytes(rng: random.Random, data: bytes, min_keep: int = 1) -> bytes:
+    """Cut the frame short, keeping at least ``min_keep`` leading bytes.
+
+    Truncation points cover the whole frame — including inside the
+    Ethernet/IP headers — mirroring snaplen-clipped or radio-damaged
+    captures.
+    """
+    if len(data) <= min_keep:
+        return data
+    keep = rng.randrange(min_keep, len(data))
+    return data[:keep]
+
+
+def corrupt_bits(rng: random.Random, data: bytes, max_bits: int = 8) -> bytes:
+    """Flip between 1 and ``max_bits`` randomly chosen bits."""
+    if not data:
+        return data
+    out = bytearray(data)
+    for _ in range(rng.randint(1, max(1, max_bits))):
+        position = rng.randrange(len(out))
+        out[position] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def _udp_payload_span(frame_bytes: bytes) -> Optional[tuple]:
+    """Locate the UDP payload inside an IPv4/UDP Ethernet frame.
+
+    Returns ``(start, end)`` byte offsets, or ``None`` when the frame is
+    not IPv4/UDP or is too short to carry a payload.  Works on raw bytes
+    so the mutator can damage a frame without a decode round-trip.
+    """
+    if len(frame_bytes) < 14 + 20 + 8:
+        return None
+    (ethertype,) = struct.unpack_from("!H", frame_bytes, 12)
+    if ethertype != 0x0800:
+        return None
+    ihl = (frame_bytes[14] & 0x0F) * 4
+    if frame_bytes[14] >> 4 != 4 or ihl < 20:
+        return None
+    if frame_bytes[14 + 9] != 17:  # IPv4 protocol field: UDP
+        return None
+    start = 14 + ihl + 8
+    if start >= len(frame_bytes):
+        return None
+    return start, len(frame_bytes)
+
+
+def udp_ports_of(frame_bytes: bytes) -> Optional[tuple]:
+    """The (src_port, dst_port) of an IPv4/UDP frame, or ``None``."""
+    span = _udp_payload_span(frame_bytes)
+    if span is None:
+        return None
+    header = span[0] - 8
+    return struct.unpack_from("!HH", frame_bytes, header)
+
+
+def mutate_discovery_payload(rng: random.Random, payload: bytes) -> bytes:
+    """Damage a discovery (mDNS/SSDP/TuyaLP) application payload.
+
+    Picks one strategy per call: truncate the payload, flip bits in it,
+    overwrite a slice with random bytes, or scramble the leading header
+    bytes (where every discovery protocol keeps its magic/flags).
+    """
+    if not payload:
+        return payload
+    strategy = rng.randrange(4)
+    if strategy == 0:
+        return truncate_bytes(rng, payload)
+    if strategy == 1:
+        return corrupt_bits(rng, payload, max_bits=16)
+    if strategy == 2:
+        start = rng.randrange(len(payload))
+        length = rng.randint(1, min(16, len(payload) - start))
+        blob = bytes(rng.randrange(256) for _ in range(length))
+        return payload[:start] + blob + payload[start + length:]
+    head = min(8, len(payload))
+    scrambled = bytes(rng.randrange(256) for _ in range(head))
+    return scrambled + payload[head:]
+
+
+def mutate_udp_payload(rng: random.Random, frame_bytes: bytes) -> bytes:
+    """Apply :func:`mutate_discovery_payload` in place inside a raw frame.
+
+    Returns the frame unchanged when it is not IPv4/UDP with a payload.
+    """
+    span = _udp_payload_span(frame_bytes)
+    if span is None:
+        return frame_bytes
+    start, end = span
+    mutated = mutate_discovery_payload(rng, frame_bytes[start:end])
+    return frame_bytes[:start] + mutated

@@ -24,6 +24,9 @@ class HoneypotEvent:
     src_port: Optional[int]
     summary: str
     marker: Optional[str] = None  # token planted in our response, if any
+    #: True when the payload failed to parse (garbage/corrupted input);
+    #: the honeypot still logs the contact instead of crashing.
+    malformed: bool = False
 
 
 class HoneypotLog:
@@ -40,6 +43,15 @@ class HoneypotLog:
                 "honeypot_contacts_total",
                 "inbound contacts per honeypot protocol",
             ).inc(protocol=event.protocol, honeypot=event.honeypot)
+            if event.malformed:
+                self._obs.metrics.counter(
+                    "honeypot_malformed_total",
+                    "garbage payloads tolerated per honeypot protocol",
+                ).inc(protocol=event.protocol, honeypot=event.honeypot)
+
+    @property
+    def malformed_count(self) -> int:
+        return sum(1 for event in self.events if event.malformed)
 
     def contacts_by_source(self) -> Dict[str, List[HoneypotEvent]]:
         by_source: Dict[str, List[HoneypotEvent]] = {}
@@ -78,7 +90,11 @@ class Honeypot(Node):
         return f"hp-{self.name}-{next(self._marker_counter):06d}"
 
     def record_contact(
-        self, packet: DecodedPacket, summary: str, marker: Optional[str] = None
+        self,
+        packet: DecodedPacket,
+        summary: str,
+        marker: Optional[str] = None,
+        malformed: bool = False,
     ) -> HoneypotEvent:
         event = HoneypotEvent(
             timestamp=packet.timestamp,
@@ -89,6 +105,7 @@ class Honeypot(Node):
             src_port=packet.src_port,
             summary=summary,
             marker=marker,
+            malformed=malformed,
         )
         self.log.record(event)
         return event

@@ -32,7 +32,7 @@ class HttpHoneypot(Honeypot):
         try:
             request = HttpRequest.decode(packet.tcp.payload)
         except ValueError:
-            self.record_contact(packet, "non-HTTP payload on HTTP port")
+            self.record_contact(packet, "non-HTTP payload on HTTP port", malformed=True)
             return
         marker = self.next_marker()
         agent = request.user_agent or "-"

@@ -51,7 +51,7 @@ class MdnsHoneypot(Honeypot):
         try:
             message = DnsMessage.decode(packet.udp.payload)
         except ValueError:
-            self.record_contact(packet, "undecodable mDNS payload")
+            self.record_contact(packet, "undecodable mDNS payload", malformed=True)
             return
         if message.is_response:
             names = [record.name for record in message.all_records[:3]]

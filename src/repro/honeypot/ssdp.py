@@ -42,7 +42,7 @@ class SsdpHoneypot(Honeypot):
         try:
             message = SsdpMessage.decode(packet.udp.payload)
         except ValueError:
-            self.record_contact(packet, "undecodable SSDP payload")
+            self.record_contact(packet, "undecodable SSDP payload", malformed=True)
             return
         if message.method is SsdpMethod.MSEARCH:
             marker = self.next_marker()

@@ -14,6 +14,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.net.mac import MacAddress
+from repro.net.guard import guarded_decode
 
 
 class ArpOp(enum.IntEnum):
@@ -55,6 +56,7 @@ class ArpPacket:
         )
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "ArpPacket":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated ARP packet: {len(data)} bytes")

@@ -7,8 +7,10 @@ captured bytes, mirroring how the paper post-processes tcpdump output.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.arp import ArpPacket
 from repro.net.eapol import EapolFrame
@@ -21,13 +23,60 @@ from repro.net.tcp import TcpSegment
 from repro.net.udp import UdpDatagram
 
 
+class DecodeErrorLog:
+    """A counted quarantine for frames that failed to decode cleanly.
+
+    Decoding is *total*: a malformed frame never raises mid-analysis.
+    Instead the failure is recorded here — counted per reason, with a
+    bounded sample of the offending bytes kept for postmortems — and
+    the (partially) decoded packet flows on with ``decode_error`` set.
+    Thread-safe, because the capture layer decodes backlogs in parallel
+    chunks.
+    """
+
+    #: How many offending frames to retain verbatim for inspection.
+    SAMPLE_LIMIT = 32
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.counts: Dict[str, int] = {}
+        self.samples = deque(maxlen=self.SAMPLE_LIMIT)
+
+    def record(self, timestamp: float, data: bytes, reason: str, detail: str = "") -> None:
+        with self._lock:
+            self.counts[reason] = self.counts.get(reason, 0) + 1
+            self.samples.append((timestamp, bytes(data), reason, detail))
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return sum(self.counts.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.counts)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.counts.clear()
+            self.samples.clear()
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __repr__(self) -> str:
+        return f"DecodeErrorLog({self.snapshot()!r})"
+
+
 @dataclass
 class DecodedPacket:
     """A fully decoded frame with every recognized layer attached.
 
     Layers that are absent (or failed to parse) are ``None``.  The
     original bytes are always retained in ``frame.payload`` so payload
-    analyses never lose information to decoding.
+    analyses never lose information to decoding.  ``decode_error`` names
+    the layer that failed to parse (``None`` for a clean decode); the
+    packet itself is always usable.
     """
 
     timestamp: float
@@ -41,6 +90,11 @@ class DecodedPacket:
     icmp: Optional[IcmpMessage] = None
     icmpv6: Optional[Icmpv6Message] = None
     igmp: Optional[IgmpMessage] = None
+    decode_error: Optional[str] = None
+
+    @property
+    def is_malformed(self) -> bool:
+        return self.decode_error is not None
 
     @property
     def src_ip(self) -> Optional[str]:
@@ -108,14 +162,35 @@ class DecodedPacket:
         return not self.frame.is_multicast
 
 
-def decode_frame(data: bytes, timestamp: float = 0.0) -> DecodedPacket:
+#: Placeholder endpoints for frames too damaged to carry real addresses.
+_NULL_MAC = "00:00:00:00:00:00"
+
+
+def decode_frame(
+    data: bytes,
+    timestamp: float = 0.0,
+    errors: Optional[DecodeErrorLog] = None,
+) -> DecodedPacket:
     """Decode raw Ethernet bytes into a :class:`DecodedPacket`.
 
-    Decoding is forgiving: a malformed inner layer leaves that layer
-    ``None`` rather than failing the whole packet, matching how
-    dissectors behave on partially captured traffic.
+    Decoding is *total* and forgiving: a malformed inner layer leaves
+    that layer ``None`` rather than failing the whole packet (matching
+    how dissectors behave on partially captured traffic), and a frame
+    too short even for an Ethernet header yields a stub packet with
+    ``decode_error`` set instead of raising.  When an ``errors``
+    quarantine log is passed, every decode failure is counted there.
     """
-    frame = EthernetFrame.decode(data)
+    try:
+        frame = EthernetFrame.decode(data)
+    except ValueError as exc:
+        packet = DecodedPacket(
+            timestamp=timestamp,
+            frame=EthernetFrame(_NULL_MAC, _NULL_MAC, 0, data),
+            decode_error="ethernet",
+        )
+        if errors is not None:
+            errors.record(timestamp, data, "ethernet", str(exc))
+        return packet
     packet = DecodedPacket(timestamp=timestamp, frame=frame)
     kind = frame.kind
     try:
@@ -125,26 +200,37 @@ def decode_frame(data: bytes, timestamp: float = 0.0) -> DecodedPacket:
             packet.eapol = EapolFrame.decode(frame.payload)
         elif kind is EtherType.IPV4:
             packet.ipv4 = Ipv4Packet.decode(frame.payload)
-            _decode_ipv4_transport(packet)
+            _decode_ipv4_transport(packet, errors)
         elif kind is EtherType.IPV6:
             packet.ipv6 = Ipv6Packet.decode(frame.payload)
-            _decode_ipv6_transport(packet)
-    except ValueError:
-        pass
+            _decode_ipv6_transport(packet, errors)
+    except ValueError as exc:
+        packet.decode_error = kind.name.lower()
+        if errors is not None:
+            errors.record(timestamp, data, kind.name.lower(), str(exc))
     return packet
 
 
-def decode_records(records) -> "list[DecodedPacket]":
+def decode_records(records, errors: Optional[DecodeErrorLog] = None) -> "list[DecodedPacket]":
     """Decode an ordered batch of ``(timestamp, frame_bytes)`` records.
 
     This is the unit of work the capture layer hands to worker threads
-    when a large backlog is decoded in parallel chunks; decoding is pure,
-    so chunk results concatenate back into capture order.
+    when a large backlog is decoded in parallel chunks; decoding is pure
+    (the shared ``errors`` quarantine log is internally locked), so
+    chunk results concatenate back into capture order.
     """
-    return [decode_frame(data, timestamp) for timestamp, data in records]
+    return [decode_frame(data, timestamp, errors) for timestamp, data in records]
 
 
-def _decode_ipv4_transport(packet: DecodedPacket) -> None:
+def _transport_error(
+    packet: DecodedPacket, errors: Optional[DecodeErrorLog], layer: str, exc: ValueError
+) -> None:
+    packet.decode_error = layer
+    if errors is not None:
+        errors.record(packet.timestamp, packet.frame.payload, layer, str(exc))
+
+
+def _decode_ipv4_transport(packet: DecodedPacket, errors: Optional[DecodeErrorLog] = None) -> None:
     ip = packet.ipv4
     try:
         if ip.protocol == IpProtocol.UDP:
@@ -155,11 +241,11 @@ def _decode_ipv4_transport(packet: DecodedPacket) -> None:
             packet.icmp = IcmpMessage.decode(ip.payload)
         elif ip.protocol == IpProtocol.IGMP:
             packet.igmp = IgmpMessage.decode(ip.payload)
-    except ValueError:
-        pass
+    except ValueError as exc:
+        _transport_error(packet, errors, f"ipv4-proto-{ip.protocol}", exc)
 
 
-def _decode_ipv6_transport(packet: DecodedPacket) -> None:
+def _decode_ipv6_transport(packet: DecodedPacket, errors: Optional[DecodeErrorLog] = None) -> None:
     ip = packet.ipv6
     try:
         if ip.next_header == IpProtocol.UDP:
@@ -168,8 +254,8 @@ def _decode_ipv6_transport(packet: DecodedPacket) -> None:
             packet.tcp = TcpSegment.decode(ip.payload)
         elif ip.next_header == IpProtocol.IPV6_ICMP:
             packet.icmpv6 = Icmpv6Message.decode(ip.payload)
-    except ValueError:
-        pass
+    except ValueError as exc:
+        _transport_error(packet, errors, f"ipv6-proto-{ip.next_header}", exc)
 
 
 #: Cheap port → protocol labels for telemetry (not classification —

@@ -10,6 +10,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass
+from repro.net.guard import guarded_decode
 
 
 class EapolType(enum.IntEnum):
@@ -34,6 +35,7 @@ class EapolFrame:
         return _HEADER.pack(self.version, self.packet_type, len(self.body)) + self.body
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "EapolFrame":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated EAPOL frame: {len(data)} bytes")

@@ -13,6 +13,7 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.net.mac import MacAddress
+from repro.net.guard import guarded_decode
 
 
 class EtherType(enum.IntEnum):
@@ -68,6 +69,7 @@ class EthernetFrame:
         return _HEADER.pack(self.dst.packed, self.src.packed, self.ethertype) + self.payload
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "EthernetFrame":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated Ethernet frame: {len(data)} bytes")

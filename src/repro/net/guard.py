@@ -1,0 +1,61 @@
+"""Decode guards: make every packet/payload parser total over garbage.
+
+The paper's datasets are messy by construction — crowdsourced captures
+and honeypot traffic contain truncated, non-compliant, and corrupted
+payloads — so the contract for every ``decode`` classmethod in
+``repro.net`` and ``repro.protocols`` is: *on malformed input, raise*
+``ValueError`` *and nothing else*.  Callers then need exactly one
+``except ValueError`` (or :func:`try_decode`) to survive any input.
+
+Hand-written struct parsers naturally leak other exception types on
+adversarial bytes (``struct.error`` on short buffers, ``IndexError`` on
+bad offsets, ``KeyError``/``OverflowError`` on out-of-range enum or
+length fields).  :func:`guarded_decode` normalizes all of them to
+``ValueError`` so the quarantine path in ``repro.net.decode`` — and the
+honeypots, which must tolerate whatever a scanner throws at them —
+cannot be crashed by a byte pattern the author did not anticipate.
+"""
+
+from __future__ import annotations
+
+import functools
+import struct
+from typing import Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+#: Exception types a hand-written parser can leak on garbage input.
+#: ``UnicodeDecodeError`` and ``ipaddress.AddressValueError`` already
+#: subclass ``ValueError`` and need no translation.
+_DECODE_LEAKS = (struct.error, IndexError, KeyError, OverflowError, EOFError)
+
+
+def guarded_decode(func: Callable[..., T]) -> Callable[..., T]:
+    """Wrap a ``decode`` so malformed input can only raise ``ValueError``.
+
+    Apply *under* ``@classmethod``::
+
+        @classmethod
+        @guarded_decode
+        def decode(cls, data: bytes) -> "Message": ...
+    """
+
+    @functools.wraps(func)
+    def wrapper(cls, data, *args, **kwargs):
+        try:
+            return func(cls, data, *args, **kwargs)
+        except ValueError:
+            raise
+        except _DECODE_LEAKS as exc:
+            name = getattr(cls, "__name__", str(cls))
+            raise ValueError(f"malformed {name}: {exc!r}") from exc
+
+    return wrapper
+
+
+def try_decode(decoder: Callable[..., T], data: bytes, *args, **kwargs) -> Optional[T]:
+    """Run a guarded decoder; return ``None`` instead of raising on garbage."""
+    try:
+        return decoder(data, *args, **kwargs)
+    except ValueError:
+        return None

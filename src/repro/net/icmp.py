@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.net.ipv4 import internet_checksum
 from repro.net.mac import MacAddress
+from repro.net.guard import guarded_decode
 
 _HEADER = struct.Struct("!BBH")
 
@@ -48,6 +49,7 @@ class IcmpMessage:
         return msg[:2] + struct.pack("!H", checksum) + msg[4:]
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "IcmpMessage":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated ICMP message: {len(data)} bytes")
@@ -80,6 +82,7 @@ class Icmpv6Message:
         return msg[:2] + struct.pack("!H", checksum) + msg[4:]
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "Icmpv6Message":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated ICMPv6 message: {len(data)} bytes")

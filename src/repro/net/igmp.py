@@ -13,6 +13,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.net.ipv4 import internet_checksum
+from repro.net.guard import guarded_decode
 
 
 class IgmpType(enum.IntEnum):
@@ -44,6 +45,7 @@ class IgmpMessage:
         return msg[:2] + struct.pack("!H", checksum) + msg[4:]
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "IgmpMessage":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated IGMP message: {len(data)} bytes")

@@ -11,6 +11,7 @@ import enum
 import ipaddress
 import struct
 from dataclasses import dataclass, field
+from repro.net.guard import guarded_decode
 
 
 class IpProtocol(enum.IntEnum):
@@ -96,6 +97,7 @@ class Ipv4Packet:
         return header + self.payload
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes, verify_checksum: bool = False) -> "Ipv4Packet":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated IPv4 packet: {len(data)} bytes")

@@ -10,6 +10,7 @@ from __future__ import annotations
 import ipaddress
 import struct
 from dataclasses import dataclass
+from repro.net.guard import guarded_decode
 
 _HEADER = struct.Struct("!IHBB16s16s")
 
@@ -56,6 +57,7 @@ class Ipv6Packet:
         )
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "Ipv6Packet":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated IPv6 packet: {len(data)} bytes")

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.net.ether import EthernetFrame
 from repro.net.mac import BROADCAST_MAC, MacAddress
+from repro.net.guard import guarded_decode
 
 #: LLC control byte for XID with the poll/final bit set.
 XID_CONTROL = 0xBF
@@ -33,6 +34,7 @@ class LlcFrame:
         return struct.pack("!BBB", self.dsap, self.ssap, self.control) + self.information
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "LlcFrame":
         if len(data) < 3:
             raise ValueError(f"truncated LLC PDU: {len(data)} bytes")

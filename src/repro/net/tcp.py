@@ -12,6 +12,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.net.ipv4 import IpProtocol, pseudo_header_checksum
+from repro.net.guard import guarded_decode
 
 
 class TcpFlags(enum.IntFlag):
@@ -77,6 +78,7 @@ class TcpSegment:
         return segment[:16] + struct.pack("!H", checksum) + segment[18:]
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "TcpSegment":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated TCP segment: {len(data)} bytes")

@@ -6,6 +6,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.net.ipv4 import IpProtocol, pseudo_header_checksum
+from repro.net.guard import guarded_decode
 
 _HEADER = struct.Struct("!HHHH")
 
@@ -40,6 +41,7 @@ class UdpDatagram:
         return segment[:6] + struct.pack("!H", checksum) + segment[8:]
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "UdpDatagram":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated UDP datagram: {len(data)} bytes")

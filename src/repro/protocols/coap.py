@@ -11,6 +11,7 @@ import enum
 import struct
 from dataclasses import dataclass, field
 from typing import List, Optional
+from repro.net.guard import guarded_decode
 
 COAP_PORT = 5683
 
@@ -82,6 +83,7 @@ class CoapMessage:
         return bytes(out)
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "CoapMessage":
         if len(data) < 4:
             raise ValueError(f"truncated CoAP message: {len(data)} bytes")

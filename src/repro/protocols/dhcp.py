@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.net.mac import MacAddress
+from repro.net.guard import guarded_decode
 
 DHCP_SERVER_PORT = 67
 DHCP_CLIENT_PORT = 68
@@ -120,6 +121,7 @@ class DhcpMessage:
         return bytes(out)
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "DhcpMessage":
         if len(data) < _FIXED.size + 4:
             raise ValueError(f"truncated DHCP message: {len(data)} bytes")

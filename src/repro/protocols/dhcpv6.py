@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.net.mac import MacAddress
+from repro.net.guard import guarded_decode
 
 DHCPV6_CLIENT_PORT = 546
 DHCPV6_SERVER_PORT = 547
@@ -70,6 +71,7 @@ class Dhcpv6Message:
         return bytes(out)
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "Dhcpv6Message":
         if len(data) < 4:
             raise ValueError(f"truncated DHCPv6 message: {len(data)} bytes")

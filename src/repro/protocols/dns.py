@@ -12,6 +12,7 @@ import enum
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+from repro.net.guard import guarded_decode
 
 
 class DnsType(enum.IntEnum):
@@ -228,6 +229,7 @@ class DnsMessage:
         return bytes(out)
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "DnsMessage":
         if len(data) < _HEADER.size:
             raise ValueError(f"truncated DNS message: {len(data)} bytes")

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
+from repro.net.guard import guarded_decode
 
 
 def _encode_headers(headers: Dict[str, str]) -> str:
@@ -44,6 +45,7 @@ class HttpRequest:
         return (start + _encode_headers(headers) + "\r\n").encode("utf-8") + self.body
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "HttpRequest":
         text = data.decode("utf-8", "replace")
         start, headers, body = _decode_head(text)
@@ -84,6 +86,7 @@ class HttpResponse:
         return (start + _encode_headers(headers) + "\r\n").encode("utf-8") + self.body
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "HttpResponse":
         text = data.decode("utf-8", "replace")
         start, headers, body = _decode_head(text)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from repro.net.guard import guarded_decode
 
 NETBIOS_NS_PORT = 137
 TYPE_NB = 0x0020
@@ -65,6 +66,7 @@ class NetbiosNsQuery:
         return header + question
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "NetbiosNsQuery":
         if len(data) < _HEADER.size + 38:
             raise ValueError(f"truncated NetBIOS NS query: {len(data)} bytes")

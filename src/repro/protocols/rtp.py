@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from repro.net.guard import guarded_decode
 
 ECHO_MULTIROOM_PORT = 55444
 
@@ -42,6 +43,7 @@ class RtpPacket:
         )
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "RtpPacket":
         if len(data) < 12:
             raise ValueError(f"truncated RTP packet: {len(data)} bytes")

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+from repro.net.guard import guarded_decode
 
 RTSP_PORT = 554
 
@@ -45,6 +46,7 @@ class RtspRequest:
         return (start + _encode_headers(headers) + "\r\n").encode("utf-8")
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "RtspRequest":
         start, headers, _body = _decode_head(data.decode("utf-8", "replace"))
         parts = start.split(" ", 2)
@@ -73,6 +75,7 @@ class RtspResponse:
         return (start + _encode_headers(headers) + "\r\n").encode("utf-8") + self.body
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "RtspResponse":
         start, headers, body = _decode_head(data.decode("utf-8", "replace"))
         parts = start.split(" ", 2)

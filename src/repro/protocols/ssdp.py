@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+from repro.net.guard import guarded_decode
 
 SSDP_PORT = 1900
 SSDP_GROUP_V4 = "239.255.255.250"
@@ -48,6 +49,7 @@ class SsdpMessage:
         return ("\r\n".join(lines) + "\r\n\r\n").encode("utf-8")
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "SsdpMessage":
         text = data.decode("utf-8", "replace")
         lines = text.split("\r\n")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from repro.net.guard import guarded_decode
 
 MAGIC_COOKIE = 0x2112A442
 
@@ -35,6 +36,7 @@ class StunMessage:
         )
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "StunMessage":
         if len(data) < 20:
             raise ValueError(f"truncated STUN message: {len(data)} bytes")

@@ -20,6 +20,7 @@ import json
 import struct
 from dataclasses import dataclass, field, asdict
 from typing import List, Optional
+from repro.net.guard import guarded_decode
 
 
 class TlsVersion(enum.IntEnum):
@@ -94,6 +95,7 @@ class TlsHandshake:
         return struct.pack("!B", int(self.handshake_type)) + struct.pack("!I", len(body))[1:] + body
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "TlsHandshake":
         if len(data) < 4:
             raise ValueError("truncated TLS handshake")
@@ -130,6 +132,7 @@ class TlsRecord:
         )
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes) -> "TlsRecord":
         if len(data) < 5:
             raise ValueError(f"truncated TLS record: {len(data)} bytes")

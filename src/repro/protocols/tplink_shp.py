@@ -14,6 +14,7 @@ import json
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+from repro.net.guard import guarded_decode
 
 TPLINK_SHP_PORT = 9999
 _INITIAL_KEY = 171
@@ -58,6 +59,7 @@ class TplinkShpMessage:
         return payload
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes, transport: str = "udp") -> "TplinkShpMessage":
         if transport == "tcp":
             if len(data) < 4:

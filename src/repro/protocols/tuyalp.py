@@ -15,6 +15,7 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+from repro.net.guard import guarded_decode
 
 TUYA_PORT_PLAIN = 6666
 TUYA_PORT_ENCRYPTED = 6667
@@ -53,6 +54,7 @@ class TuyaLpMessage:
         return head + body + struct.pack("!II", crc, SUFFIX)
 
     @classmethod
+    @guarded_decode
     def decode(cls, data: bytes, verify_crc: bool = True) -> "TuyaLpMessage":
         if len(data) < 24:
             raise ValueError(f"truncated TuyaLP frame: {len(data)} bytes")

@@ -51,6 +51,8 @@ class HostScanResult:
     responded_udp: bool = False
     responded_ip_proto: bool = False
     supported_ip_protocols: List[int] = field(default_factory=list)
+    #: Set when scanning this host raised; the sweep continued anyway.
+    error: Optional[str] = None
 
     @property
     def open_ports(self) -> List[OpenPort]:
@@ -60,12 +62,24 @@ class HostScanResult:
     def has_open_ports(self) -> bool:
         return bool(self.open_tcp or self.open_udp)
 
+    @property
+    def unreachable(self) -> bool:
+        """True when nothing answered at all (crashed/flapping target)."""
+        return not (self.responded_tcp or self.responded_udp
+                    or self.responded_ip_proto or self.has_open_ports)
+
 
 @dataclass
 class ScanReport:
     """Aggregate of a full sweep across the testbed."""
 
     hosts: List[HostScanResult] = field(default_factory=list)
+    #: Per-target failures that were isolated instead of aborting the sweep.
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def unreachable_hosts(self) -> int:
+        return sum(1 for host in self.hosts if host.unreachable)
 
     @property
     def devices_with_open_ports(self) -> int:
@@ -111,19 +125,59 @@ def default_tcp_ports(lan: Lan, well_known_limit: int = 1024) -> List[int]:
 
 
 class PortScanner(Node):
-    """A scanner host attached to the LAN (the paper's scan machine)."""
+    """A scanner host attached to the LAN (the paper's scan machine).
 
-    def __init__(self, name: str = "scanner", mac: str = "02:00:00:00:00:fe"):
+    Resilience knobs (all default to the historical zero-overhead
+    behaviour; the study pipeline turns them on when a fault plan is
+    active):
+
+    - ``max_retries``: inconclusive (silent) probes are re-sent up to
+      this many extra times before the port is written off.
+    - ``probe_timeout`` / ``retry_backoff``: how long to wait for a
+      (possibly fault-delayed) reply after each attempt — attempt *n*
+      waits ``probe_timeout * retry_backoff**n`` simulated seconds.
+    - ``wait_for_replies``: when True, waits advance the simulator so
+      delayed frames actually arrive; when False waits are skipped
+      (replies in the fault-free lab are synchronous).
+    - ``silent_target_threshold``: after this many consecutive
+      all-silent ports on one target the scanner stops waiting and
+      retrying against it (nmap-style give-up) — a host that never
+      answers must not cost ``ports * retries * timeout`` of sim time.
+
+    Replies in the lab are synchronous unless a fault delayed them, so
+    probes check their replies first and only pay a wait when the
+    initial check came back silent.
+    """
+
+    def __init__(
+        self,
+        name: str = "scanner",
+        mac: str = "02:00:00:00:00:fe",
+        max_retries: int = 0,
+        probe_timeout: float = 0.02,
+        retry_backoff: float = 2.0,
+        wait_for_replies: bool = False,
+        silent_target_threshold: int = 8,
+    ):
         super().__init__(name=name, mac=mac, ip="0.0.0.0", vendor="scanner")
         self._replies: List[DecodedPacket] = []
         self.add_raw_hook(lambda _node, packet: self._replies.append(packet))
         self.probes_sent = 0
+        self.retries_used = 0
+        self.max_retries = max_retries
+        self.probe_timeout = probe_timeout
+        self.retry_backoff = retry_backoff
+        self.wait_for_replies = wait_for_replies
+        self.silent_target_threshold = silent_target_threshold
+        self._silence_streaks: Dict[str, int] = {}
         obs = get_obs()
         self._obs = obs
         if obs.enabled:
             metrics = obs.metrics.scoped("scan")
             self._probes_total = metrics.counter(
                 "probes_total", "scan probes sent, per kind (tcp/udp/icmp)")
+            self._retries_total = metrics.counter(
+                "retries_total", "probe retries after silence, per kind")
             self._open_ports_total = metrics.counter(
                 "open_ports_total", "open ports discovered, per transport")
             self._sweep_seconds = metrics.histogram(
@@ -134,33 +188,116 @@ class PortScanner(Node):
         if self._obs.enabled:
             self._probes_total.inc(kind=kind)
 
+    def _count_retry(self, kind: str) -> None:
+        self.retries_used += 1
+        if self._obs.enabled:
+            self._retries_total.inc(kind=kind)
+
     def _drain(self) -> List[DecodedPacket]:
         replies, self._replies = self._replies, []
         return replies
 
+    def _wait(self, seconds: float) -> None:
+        """Advance sim time so fault-delayed replies can land."""
+        if not self.wait_for_replies or seconds <= 0 or self.lan is None:
+            return
+        simulator = self.lan.simulator
+        simulator.run(until=simulator.now + seconds)
+
+    def _attempt_timeout(self, attempt: int) -> float:
+        return self.probe_timeout * (self.retry_backoff ** attempt)
+
+    def _persists_against(self, target: Node) -> bool:
+        """False once a target has looked dead for too many ports in a row."""
+        if self.max_retries <= 0:
+            return False
+        streak = self._silence_streaks.get(str(target.mac), 0)
+        return streak < self.silent_target_threshold
+
+    def _note_outcome(self, target: Node, silent: bool) -> None:
+        key = str(target.mac)
+        if silent:
+            self._silence_streaks[key] = self._silence_streaks.get(key, 0) + 1
+        else:
+            self._silence_streaks[key] = 0
 
     # -- TCP SYN scan ------------------------------------------------------------
+
+    def _classify_tcp(self, port: int) -> str:
+        outcome = "silent"
+        for reply in self._drain():
+            if reply.tcp is None:
+                continue
+            if reply.tcp.is_synack and reply.tcp.src_port == port:
+                return "open"
+            if reply.tcp.is_rst:
+                outcome = "closed"
+        return outcome
+
+    def _tcp_probe(self, target: Node, port: int) -> str:
+        """One SYN probe with retries; returns 'open', 'closed', or 'silent'."""
+        persist = self._persists_against(target)
+        attempts = (self.max_retries + 1) if persist else 1
+        for attempt in range(attempts):
+            segment = TcpSegment(self.ephemeral_port(), port, seq=7, flags=TcpFlags.SYN)
+            self._replies.clear()
+            self.send_tcp_segment(target.ip, segment, dst_mac=target.mac)
+            self._count_probe("tcp")
+            outcome = self._classify_tcp(port)
+            if outcome == "silent" and persist:
+                self._wait(self._attempt_timeout(attempt))
+                outcome = self._classify_tcp(port)
+            if outcome != "silent":
+                self._note_outcome(target, silent=False)
+                return outcome
+            if attempt < attempts - 1:
+                self._count_retry("tcp")
+        self._note_outcome(target, silent=True)
+        return "silent"
 
     def tcp_syn_scan(self, target: Node, ports: Iterable[int]) -> Tuple[List[int], bool]:
         """SYN-probe each port; returns (open_ports, responded_at_all)."""
         open_ports: List[int] = []
         responded = False
         for port in ports:
-            segment = TcpSegment(self.ephemeral_port(), port, seq=7, flags=TcpFlags.SYN)
-            self._replies.clear()
-            self.send_tcp_segment(target.ip, segment, dst_mac=target.mac)
-            self._count_probe("tcp")
-            for reply in self._drain():
-                if reply.tcp is None:
-                    continue
-                if reply.tcp.is_synack and reply.tcp.src_port == port:
-                    open_ports.append(port)
-                    responded = True
-                elif reply.tcp.is_rst:
-                    responded = True
+            outcome = self._tcp_probe(target, port)
+            if outcome == "open":
+                open_ports.append(port)
+                responded = True
+            elif outcome == "closed":
+                responded = True
         return open_ports, responded
 
     # -- UDP scan -----------------------------------------------------------------
+
+    def _classify_udp(self, port: int) -> str:
+        outcome = "silent"
+        for reply in self._drain():
+            if reply.udp is not None and reply.udp.src_port == port:
+                return "open"
+            if reply.icmp is not None and reply.icmp.icmp_type == IcmpType.DEST_UNREACHABLE:
+                outcome = "closed"
+        return outcome
+
+    def _udp_probe(self, target: Node, port: int) -> str:
+        """One UDP probe with retries; returns 'open', 'closed', or 'silent'."""
+        persist = self._persists_against(target)
+        attempts = (self.max_retries + 1) if persist else 1
+        for attempt in range(attempts):
+            self._replies.clear()
+            self.send_udp(target.ip, port, b"\x00" * 8, dst_mac=target.mac)
+            self._count_probe("udp")
+            outcome = self._classify_udp(port)
+            if outcome == "silent" and persist:
+                self._wait(self._attempt_timeout(attempt))
+                outcome = self._classify_udp(port)
+            if outcome != "silent":
+                self._note_outcome(target, silent=False)
+                return outcome
+            if attempt < attempts - 1:
+                self._count_retry("udp")
+        self._note_outcome(target, silent=True)
+        return "silent"
 
     def udp_scan(self, target: Node, ports: Iterable[int]) -> Tuple[List[int], bool]:
         """UDP-probe ports; open = response or documented-open; closed = ICMP.
@@ -172,20 +309,11 @@ class PortScanner(Node):
         open_ports: List[int] = []
         responded = False
         for port in ports:
-            self._replies.clear()
-            self.send_udp(target.ip, port, b"\x00" * 8, dst_mac=target.mac)
-            self._count_probe("udp")
-            got_icmp_unreachable = False
-            got_payload = False
-            for reply in self._drain():
-                if reply.icmp is not None and reply.icmp.icmp_type == IcmpType.DEST_UNREACHABLE:
-                    got_icmp_unreachable = True
-                elif reply.udp is not None and reply.udp.src_port == port:
-                    got_payload = True
-            if got_payload:
+            outcome = self._udp_probe(target, port)
+            if outcome == "open":
                 open_ports.append(port)
                 responded = True
-            elif got_icmp_unreachable:
+            elif outcome == "closed":
                 responded = True
             elif target.services.is_open("udp", port):
                 # open|filtered that a follow-up protocol probe confirms
@@ -194,16 +322,31 @@ class PortScanner(Node):
 
     # -- IP protocol scan -----------------------------------------------------------
 
+    def _icmp_probe(self, target: Node) -> bool:
+        """Echo-probe with retries; True when any ICMP reply arrived."""
+        persist = self._persists_against(target)
+        attempts = (self.max_retries + 1) if persist else 1
+        for attempt in range(attempts):
+            self._replies.clear()
+            self.send_icmp_echo(target.ip)
+            self._count_probe("icmp")
+            if any(reply.icmp is not None for reply in self._drain()):
+                return True
+            if persist:
+                self._wait(self._attempt_timeout(attempt))
+                if any(reply.icmp is not None for reply in self._drain()):
+                    return True
+            if attempt < attempts - 1:
+                self._count_retry("icmp")
+        return False
+
     def ip_protocol_scan(self, target: Node, protocols: Sequence[int] = (1, 2, 6, 17)) -> Tuple[List[int], bool]:
         """Probe IP protocol support (nmap -sO); ICMP echo stands in for 1."""
         supported: List[int] = []
         responded = False
         for protocol in protocols:
             if protocol == 1:
-                self._replies.clear()
-                self.send_icmp_echo(target.ip)
-                self._count_probe("icmp")
-                if any(reply.icmp is not None for reply in self._drain()):
+                if self._icmp_probe(target):
                     supported.append(1)
                     responded = True
             elif protocol == 6:
@@ -247,17 +390,24 @@ class PortScanner(Node):
         report = ScanReport()
         for target in targets:
             host = HostScanResult(name=target.name, ip=target.ip, mac=str(target.mac))
-            opens, host.responded_tcp = self.tcp_syn_scan(target, tcp_ports)
-            for port in opens:
-                nmap_label = nmap_service_name("tcp", port)
-                corrected, reason = correct_service_label("tcp", port, nmap_label)
-                host.open_tcp.append(OpenPort("tcp", port, nmap_label, corrected, reason))
-            opens, host.responded_udp = self.udp_scan(target, udp_universe)
-            for port in opens:
-                nmap_label = nmap_service_name("udp", port)
-                corrected, reason = correct_service_label("udp", port, nmap_label)
-                host.open_udp.append(OpenPort("udp", port, nmap_label, corrected, reason))
-            host.supported_ip_protocols, host.responded_ip_proto = self.ip_protocol_scan(target)
+            try:
+                opens, host.responded_tcp = self.tcp_syn_scan(target, tcp_ports)
+                for port in opens:
+                    nmap_label = nmap_service_name("tcp", port)
+                    corrected, reason = correct_service_label("tcp", port, nmap_label)
+                    host.open_tcp.append(OpenPort("tcp", port, nmap_label, corrected, reason))
+                opens, host.responded_udp = self.udp_scan(target, udp_universe)
+                for port in opens:
+                    nmap_label = nmap_service_name("udp", port)
+                    corrected, reason = correct_service_label("udp", port, nmap_label)
+                    host.open_udp.append(OpenPort("udp", port, nmap_label, corrected, reason))
+                host.supported_ip_protocols, host.responded_ip_proto = self.ip_protocol_scan(target)
+            except Exception as exc:  # noqa: BLE001 - isolate per-target failures
+                host.error = f"{type(exc).__name__}: {exc}"
+                report.errors[target.name] = host.error
+                if obs.enabled:
+                    obs.logger("scan").warning(
+                        "host_scan_failed", device=target.name, error=host.error)
             report.hosts.append(host)
             if obs.enabled:
                 obs.logger("scan").debug(

@@ -12,7 +12,7 @@ by the profile, as a real vulnerable firmware would present).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.devices.behaviors import DeviceNode
 from repro.obs import get_obs
@@ -41,9 +41,16 @@ _SEVERITY_ORDER = {"critical": 0, "high": 1, "medium": 2, "low": 3}
 
 @dataclass
 class VulnerabilityScanner:
-    """Scan DeviceNodes for known vulnerabilities and misconfigurations."""
+    """Scan DeviceNodes for known vulnerabilities and misconfigurations.
+
+    One misbehaving device profile must not abort a testbed-wide scan:
+    :meth:`scan` isolates per-device failures into :attr:`errors` and
+    carries on with the remaining devices.
+    """
 
     include_low: bool = True
+    #: Per-device failures isolated by the last :meth:`scan` call.
+    errors: Dict[str, str] = field(default_factory=dict)
 
     def scan_device(self, node: DeviceNode) -> List[Finding]:
         findings: List[Finding] = []
@@ -67,8 +74,20 @@ class VulnerabilityScanner:
         obs = get_obs()
         started = _time.perf_counter() if obs.enabled else 0.0
         findings: List[Finding] = []
+        self.errors = {}
         for node in nodes:
-            findings.extend(self.scan_device(node))
+            try:
+                findings.extend(self.scan_device(node))
+            except Exception as exc:  # noqa: BLE001 - isolate per-device failures
+                self.errors[node.name] = f"{type(exc).__name__}: {exc}"
+                if obs.enabled:
+                    obs.logger("vulnscan").warning(
+                        "device_scan_failed", device=node.name,
+                        error=self.errors[node.name])
+                    obs.metrics.scoped("vulnscan").counter(
+                        "device_failures_total",
+                        "devices whose vulnerability scan raised and was isolated",
+                    ).inc()
         if obs.enabled:
             metrics = obs.metrics.scoped("vulnscan")
             counter = metrics.counter(

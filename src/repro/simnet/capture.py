@@ -25,7 +25,9 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.net.decode import DecodedPacket, decode_records
+from functools import partial
+
+from repro.net.decode import DecodedPacket, DecodeErrorLog, decode_records
 from repro.net.index import CaptureIndex
 from repro.net.mac import MacAddress
 from repro.net.pcap import PcapWriter
@@ -120,6 +122,9 @@ class ApCapture:
         self._index: Optional[CaptureIndex] = None
         self.packet_count = 0
         self.byte_count = 0
+        #: Malformed frames are quarantined (counted, sampled) here
+        #: instead of ever raising mid-analysis.
+        self.decode_errors = DecodeErrorLog()
         obs = get_obs()
         self._obs = obs
         if obs.enabled:
@@ -136,6 +141,9 @@ class ApCapture:
                 "frames decoded for the first time (cache fills)")
             self._decode_chunks_total = metrics.counter(
                 "decode_chunks_total", "decode batches executed, per mode")
+            self._decode_quarantined_total = metrics.counter(
+                "decode_quarantined_total",
+                "malformed frames quarantined by the decode layer, per reason")
             self._decode_pool_workers = metrics.gauge(
                 "decode_pool_workers",
                 "thread-pool width of the most recent parallel decode")
@@ -167,8 +175,16 @@ class ApCapture:
         total = len(self._records)
         cached = self._decoded_upto
         if cached < total:
+            quarantined_before = self.decode_errors.snapshot()
             self._decoded.extend(self._decode_backlog(self._records[cached:total]))
             self._decoded_upto = total
+            if self._obs.enabled:
+                # Metric writes stay on this thread; workers only touch
+                # the (locked) DecodeErrorLog.
+                for reason, count in self.decode_errors.snapshot().items():
+                    delta = count - quarantined_before.get(reason, 0)
+                    if delta:
+                        self._decode_quarantined_total.inc(delta, reason=reason)
         if self._obs.enabled:
             if cached:
                 self._decode_cache_hits.inc(cached)
@@ -182,16 +198,17 @@ class ApCapture:
         if threshold <= 0 or len(records) < threshold:
             if self._obs.enabled:
                 self._decode_chunks_total.inc(mode="serial")
-            return decode_records(records)
+            return decode_records(records, self.decode_errors)
         chunk_size = max(1, self.decode_chunk_size)
         chunks = [records[i:i + chunk_size] for i in range(0, len(records), chunk_size)]
         workers = self.decode_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(chunks)))
         out: List[DecodedPacket] = []
+        decode_chunk = partial(decode_records, errors=self.decode_errors)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             # Executor.map preserves submission order, so the
             # concatenation below reproduces capture order exactly.
-            for part in pool.map(decode_records, chunks):
+            for part in pool.map(decode_chunk, chunks):
                 out.extend(part)
         if self._obs.enabled:
             self._decode_chunks_total.inc(len(chunks), mode="parallel")
@@ -258,3 +275,4 @@ class ApCapture:
         self._index = None
         self.packet_count = 0
         self.byte_count = 0
+        self.decode_errors.clear()

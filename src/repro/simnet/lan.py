@@ -42,6 +42,9 @@ class Lan:
         self._nodes_by_ip: Dict[str, Node] = {}
         self._next_host = 10
         self.frames_delivered = 0
+        #: Set via :meth:`install_injector`; when present and active,
+        #: every transmit is routed through the fault layer.
+        self.injector = None
         obs = get_obs()
         self._obs = obs
         if obs.enabled:
@@ -109,14 +112,48 @@ class Lan:
     def node_by_ip(self, ip: str) -> Optional[Node]:
         return self._nodes_by_ip.get(ip)
 
+    def node_by_mac(self, mac) -> Optional[Node]:
+        try:
+            return self._nodes_by_mac.get(MacAddress(mac))
+        except ValueError:
+            return None
+
+    # -- fault injection -----------------------------------------------------------
+
+    def install_injector(self, injector) -> None:
+        """Route every transmit through a :class:`~repro.faults.FaultInjector`.
+
+        An injector whose plan is empty stays installed but inert: the
+        delivery path is byte-identical to an un-injected LAN (the
+        zero-fault equivalence invariant pinned by
+        ``tests/integration/test_chaos.py``).  Pass ``None`` to remove.
+        """
+        self.injector = injector
+
     # -- delivery ----------------------------------------------------------------
 
     def transmit(self, sender: Node, frame_bytes: bytes) -> DecodedPacket:
+        """Put a frame on the air; the fault layer may drop or damage it."""
+        injector = self.injector
+        if injector is not None and injector.active:
+            return injector.transmit(sender, frame_bytes)
+        return self._deliver(sender, frame_bytes)
+
+    def _deliver(self, sender: Node, frame_bytes: bytes) -> DecodedPacket:
         """Deliver a frame: capture it at the AP, then fan out to receivers."""
         timestamp = self.simulator.now
         self.capture.observe(timestamp, frame_bytes)
+        # The capture's own decode pass (ApCapture.decoded) quarantines
+        # malformed frames; this live decode is total, so damaged bytes
+        # reach receivers as a stub packet rather than raising here.
         packet = decode_frame(frame_bytes, timestamp)
         receivers = self._receivers_of(sender, packet)
+        injector = self.injector
+        if injector is not None and injector.active:
+            receivers = [
+                receiver for receiver in receivers
+                if injector.allow_delivery(receiver, packet, timestamp)
+            ]
         for receiver in receivers:
             receiver.receive(packet)
             self.frames_delivered += 1
@@ -181,6 +218,15 @@ class Lan:
         client.send_tcp_segment(server.ip, syn)
         if not server.services.is_open("tcp", dst_port):
             return None
+        injector = self.injector
+        if injector is not None and injector.active:
+            now = self.simulator.now
+            # A crashed or filtered server never completes the
+            # handshake; the client gives up after its SYN (the capture
+            # shows the half-open attempt, like a real timeout).
+            if injector.is_down(server, now) or injector.port_unresponsive(
+                    server, "tcp", dst_port, now):
+                return None
 
         sim = self.simulator
         delay = packet_gap

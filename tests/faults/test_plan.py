@@ -1,0 +1,161 @@
+"""FaultPlan validation, JSON round-trips, and window semantics."""
+
+import pytest
+
+from repro.faults import (
+    DISCOVERY_PORTS,
+    EMPTY_PLAN,
+    DelaySpec,
+    DiscoveryMutation,
+    FaultPlan,
+    FlapWindow,
+    LinkFaults,
+    UnresponsivePort,
+)
+from repro.faults.plan import FaultPlanError
+
+
+FULL_PLAN = {
+    "name": "lossy-lan",
+    "seed_salt": 3,
+    "links": [
+        {"src": "*", "dst": "echo-1", "loss": 0.02, "duplicate": 0.01,
+         "reorder": 0.01, "truncate": 0.005, "corrupt": 0.005,
+         "corrupt_bits": 4,
+         "delay": {"probability": 0.05, "min_seconds": 0.001, "max_seconds": 0.02}},
+    ],
+    "discovery": {"probability": 0.05, "protocols": ["mdns", "ssdp"]},
+    "flaps": [{"device": "echo-1", "start": 120.0, "duration": 30.0, "period": 600.0}],
+    "unresponsive_ports": [
+        {"device": "*", "transport": "tcp", "port": 80, "start": 0.0, "duration": None},
+    ],
+}
+
+
+class TestValidation:
+    def test_full_plan_parses(self):
+        plan = FaultPlan.from_dict(FULL_PLAN)
+        assert plan.name == "lossy-lan"
+        assert plan.seed_salt == 3
+        assert plan.links[0].dst == "echo-1"
+        assert plan.links[0].delay.max_seconds == 0.02
+        assert plan.discovery.ports() == (5353, 1900)
+        assert plan.flaps[0].period == 600.0
+        assert plan.unresponsive_ports[0].duration is None
+        assert not plan.is_empty
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown keys"):
+            FaultPlan.from_dict({"name": "x", "typo_section": []})
+
+    def test_unknown_link_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown keys"):
+            FaultPlan.from_dict({"links": [{"src": "*", "los": 0.5}]})
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(FaultPlanError, match="out of"):
+            FaultPlan.from_dict({"links": [{"loss": 1.5}]})
+
+    def test_non_numeric_probability_rejected(self):
+        with pytest.raises(FaultPlanError, match="expected a number"):
+            FaultPlan.from_dict({"links": [{"loss": "high"}]})
+
+    def test_delay_min_above_max_rejected(self):
+        with pytest.raises(FaultPlanError, match="min_seconds > max_seconds"):
+            FaultPlan.from_dict({"links": [{"delay": {
+                "probability": 0.1, "min_seconds": 0.1, "max_seconds": 0.01}}]})
+
+    def test_unknown_discovery_protocol_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown protocol"):
+            FaultPlan.from_dict({"discovery": {"probability": 0.1,
+                                               "protocols": ["llmnr"]}})
+
+    def test_flap_requires_device(self):
+        with pytest.raises(FaultPlanError, match="'device' is required"):
+            FaultPlan.from_dict({"flaps": [{"start": 0.0, "duration": 1.0}]})
+
+    def test_flap_duration_must_fit_period(self):
+        with pytest.raises(FaultPlanError, match="duration must be < period"):
+            FaultPlan.from_dict({"flaps": [{"device": "x", "start": 0.0,
+                                            "duration": 10.0, "period": 5.0}]})
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(FaultPlanError, match="1..65535"):
+            FaultPlan.from_dict({"unresponsive_ports": [
+                {"device": "*", "transport": "tcp", "port": 0}]})
+
+    def test_bad_transport_rejected(self):
+        with pytest.raises(FaultPlanError, match="'tcp' or 'udp'"):
+            FaultPlan.from_dict({"unresponsive_ports": [
+                {"device": "*", "transport": "sctp", "port": 80}]})
+
+    def test_invalid_json_wrapped(self):
+        with pytest.raises(FaultPlanError, match="invalid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(FaultPlanError, match="expected a JSON object"):
+            FaultPlan.from_dict([1, 2, 3])
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        plan = FaultPlan.from_dict(FULL_PLAN)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan.from_dict(FULL_PLAN).to_json())
+        assert FaultPlan.load(path) == FaultPlan.from_dict(FULL_PLAN)
+
+
+class TestEmptiness:
+    def test_empty_plan_is_empty(self):
+        assert EMPTY_PLAN.is_empty
+        assert FaultPlan.from_dict({}).is_empty
+
+    def test_noop_sections_stay_empty(self):
+        plan = FaultPlan.from_dict({
+            "links": [{"src": "*", "dst": "*", "loss": 0.0}],
+            "discovery": {"probability": 0.0},
+            "flaps": [{"device": "x", "start": 5.0, "duration": 0.0}],
+        })
+        assert plan.is_empty
+
+    def test_any_live_section_makes_nonempty(self):
+        assert not FaultPlan.from_dict({"links": [{"loss": 0.1}]}).is_empty
+        assert not FaultPlan.from_dict(
+            {"discovery": {"probability": 0.1}}).is_empty
+        assert not FaultPlan.from_dict(
+            {"flaps": [{"device": "x", "duration": 1.0}]}).is_empty
+        assert not FaultPlan.from_dict({"unresponsive_ports": [
+            {"device": "*", "transport": "udp", "port": 53}]}).is_empty
+
+
+class TestWindows:
+    def test_one_shot_flap_window(self):
+        flap = FlapWindow(device="x", start=10.0, duration=5.0)
+        assert not flap.covers(9.9)
+        assert flap.covers(10.0)
+        assert flap.covers(14.9)
+        assert not flap.covers(15.0)
+
+    def test_periodic_flap_window_repeats(self):
+        flap = FlapWindow(device="x", start=10.0, duration=5.0, period=100.0)
+        for base in (10.0, 110.0, 1010.0):
+            assert flap.covers(base + 2.0)
+            assert not flap.covers(base + 7.0)
+
+    def test_unresponsive_port_windows(self):
+        forever = UnresponsivePort(device="*", transport="tcp", port=80)
+        assert forever.covers(0.0) and forever.covers(1e9)
+        bounded = UnresponsivePort(device="*", transport="udp", port=53,
+                                   start=10.0, duration=5.0)
+        assert not bounded.covers(9.0)
+        assert bounded.covers(12.0)
+        assert not bounded.covers(15.0)
+
+    def test_discovery_ports_table(self):
+        assert DISCOVERY_PORTS["tuyalp"] == (6666, 6667)
+        assert DiscoveryMutation(probability=0.1).ports() == (5353, 1900, 6666, 6667)

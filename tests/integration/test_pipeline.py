@@ -35,6 +35,9 @@ class TestPipeline:
         assert study.scan_report.hosts
         assert study.exfiltration.total_apps == 40
         assert study.honeypot_contacts > 0
+        # No fault plan: nothing failed, no chaos artifacts attached.
+        assert study.complete and study.failures == []
+        assert study.fault_summary is None
 
     def test_scans_do_not_pollute_passive_capture(self, study):
         # After scans/apps, capture records keep accumulating only from

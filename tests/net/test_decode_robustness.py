@@ -54,9 +54,16 @@ class TestTruncation:
             for classifier in classifiers:
                 classifier.classify_packet(packet)  # must never raise
 
-    def test_too_short_for_ethernet_raises_cleanly(self):
-        with pytest.raises(ValueError):
-            decode_frame(b"\x00" * 10)
+    def test_too_short_for_ethernet_yields_quarantined_stub(self):
+        """Decode is total: runt frames come back as marked stubs."""
+        from repro.net.decode import DecodeErrorLog
+
+        errors = DecodeErrorLog()
+        packet = decode_frame(b"\x00" * 10, timestamp=1.5, errors=errors)
+        assert packet.is_malformed
+        assert packet.decode_error == "ethernet"
+        assert packet.timestamp == 1.5
+        assert errors.counts == {"ethernet": 1}
 
 
 class TestBitflips:
