@@ -1,0 +1,168 @@
+"""Fleet scaling: serial baseline vs sharded workers, cold vs warm cache.
+
+The tentpole claim of :mod:`repro.fleet`, measured directly: how long
+the §6.3 population takes through the serial
+:func:`~repro.core.fingerprint.fingerprint_households` path, through
+the fleet runner at 1/2/4/8 workers cold, and through a warm
+content-addressed cache — while asserting the sharded report stays
+**byte-identical** to the serial one at every width.  Speedup ratios
+only mean something on multi-core hosts (CI containers are often
+single-core), so the benches report the numbers and gate on
+correctness, never on a ratio.
+
+Also runnable standalone as the CI fleet smoke::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_scaling.py --smoke
+
+which runs a small population through serial + fleet(cold) +
+fleet(warm), checks byte-equivalence, nonzero cache writes on the cold
+pass, and all-hits on the warm pass, and prints the numbers as JSON.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.core.fingerprint import fingerprint_households
+from repro.fleet import FleetSpec, run_fleet
+from repro.inspector.generate import generate_dataset
+
+#: The full §6.3 population used by the pytest benches.
+FULL = dict(seed=23, households=3860, target_devices=12669)
+
+#: Worker widths swept by the cold-cache scaling bench.
+WIDTHS = (2, 4, 8)
+
+
+def _serial_report(spec_kwargs):
+    dataset = generate_dataset(**spec_kwargs)
+    return fingerprint_households(dataset=dataset)
+
+
+def bench_fleet_serial_baseline(benchmark, stage_timings):
+    """The serial reference path over the full population."""
+    started = time.perf_counter()
+    report = benchmark.pedantic(_serial_report, args=(FULL,),
+                                rounds=1, iterations=1)
+    stage_timings["fleet_serial_baseline"] = time.perf_counter() - started
+    assert report.dataset_households == FULL["households"]
+
+
+def bench_fleet_workers_1(benchmark, stage_timings):
+    """Sharded but inline (workers=1): the orchestration overhead."""
+    spec = FleetSpec(**FULL)
+    started = time.perf_counter()
+    result = benchmark.pedantic(run_fleet, args=(spec,),
+                                kwargs={"workers": 1}, rounds=1, iterations=1)
+    stage_timings["fleet_workers_1"] = time.perf_counter() - started
+    assert result.report.to_json() == _serial_report(FULL).to_json()
+
+
+def bench_fleet_workers_scaling(benchmark, stage_timings):
+    """Cold-cache process fan-out at 2/4/8 workers, all byte-checked."""
+    spec = FleetSpec(**FULL)
+    serial_json = _serial_report(FULL).to_json()
+
+    def sweep():
+        out = {}
+        for workers in WIDTHS:
+            started = time.perf_counter()
+            result = run_fleet(spec, workers=workers)
+            out[workers] = time.perf_counter() - started
+            assert result.report.to_json() == serial_json, workers
+        return out
+
+    seconds = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for workers, elapsed in seconds.items():
+        stage_timings[f"fleet_workers_{workers}"] = elapsed
+        print(f"\nfleet workers={workers}: {elapsed:.2f}s")
+
+
+def bench_fleet_warm_cache(benchmark, stage_timings):
+    """Every shard served from the content-addressed cache."""
+    spec = FleetSpec(**FULL)
+    with tempfile.TemporaryDirectory(prefix="fleet-bench-") as cache_dir:
+        cold = run_fleet(spec, workers=1, cache_dir=cache_dir)
+        assert cold.cache_writes == len(spec.shards())
+
+        started = time.perf_counter()
+        warm = benchmark.pedantic(run_fleet, args=(spec,),
+                                  kwargs={"workers": 1, "cache_dir": cache_dir},
+                                  rounds=1, iterations=1)
+        stage_timings["fleet_warm_cache"] = time.perf_counter() - started
+        assert warm.cache_hits == len(spec.shards())
+        assert warm.cache_misses == 0
+        assert warm.report.to_json() == cold.report.to_json()
+
+
+# -- standalone smoke mode (CI fleet gate) -----------------------------------------
+
+
+def run_smoke(households: int = 400, seed: int = 23, workers: int = 2) -> dict:
+    """Small-population smoke: equivalence + cache behaviour.
+
+    Returns the measured numbers; raises ``SystemExit`` on any breach
+    of the fleet's contracts (byte-equivalence, cold writes, warm hits).
+    """
+    spec_kwargs = dict(seed=seed, households=households,
+                       target_devices=max(1, round(households * 12669 / 3860)))
+    spec = FleetSpec(**spec_kwargs)
+    shard_count = len(spec.shards())
+
+    started = time.perf_counter()
+    serial_json = _serial_report(spec_kwargs).to_json()
+    serial_seconds = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as cache_dir:
+        started = time.perf_counter()
+        cold = run_fleet(spec, workers=workers, cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = run_fleet(spec, workers=workers, cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - started
+
+    results = {
+        "households": households,
+        "shards": shard_count,
+        "workers": cold.workers,
+        "serial_seconds": serial_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_cache_writes": cold.cache_writes,
+        "warm_cache_hits": warm.cache_hits,
+        "bytes_identical_cold": cold.report.to_json() == serial_json,
+        "bytes_identical_warm": warm.report.to_json() == serial_json,
+    }
+    if not results["bytes_identical_cold"]:
+        raise SystemExit("fleet cold run diverged from the serial report")
+    if not results["bytes_identical_warm"]:
+        raise SystemExit("fleet warm run diverged from the serial report")
+    if cold.cache_writes != shard_count:
+        raise SystemExit(
+            f"cold run wrote {cold.cache_writes} cache entries, "
+            f"expected {shard_count}")
+    if warm.cache_hits != shard_count or warm.cache_misses != 0:
+        raise SystemExit(
+            f"warm run hit {warm.cache_hits}/{shard_count} shards "
+            f"({warm.cache_misses} misses); cache is not serving")
+    return results
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI fleet smoke and print JSON")
+    parser.add_argument("--households", type=int, default=400,
+                        help="population size for the smoke run")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the smoke run")
+    options = parser.parse_args()
+    if not options.smoke:
+        parser.error("standalone mode requires --smoke (benches run via pytest)")
+    print(json.dumps(run_smoke(households=options.households,
+                               workers=options.workers), indent=2))

@@ -21,6 +21,9 @@ Subpackages
 ``repro.apps``       the 2,335-app dataset + instrumented Android runtime
 ``repro.inspector``  the crowdsourced (IoT Inspector-style) dataset
 ``repro.core``       the paper's analyses (one module per table/figure)
+``repro.fleet``      sharded, cached multi-process crowdsourced runner
+``repro.obs``        opt-in metrics / sim-time tracing / structured logs
+``repro.faults``     seed-deterministic fault injection (chaos plans)
 ``repro.report``     ASCII table rendering
 """
 
@@ -32,6 +35,7 @@ from repro.devices.catalog import build_catalog
 from repro.apps.dataset import generate_app_dataset
 from repro.inspector.generate import generate_dataset as generate_inspector_dataset
 from repro.core.fingerprint import fingerprint_households
+from repro.fleet import FleetSpec, run_fleet
 
 __all__ = [
     "__version__",
@@ -43,4 +47,6 @@ __all__ = [
     "generate_app_dataset",
     "generate_inspector_dataset",
     "fingerprint_households",
+    "FleetSpec",
+    "run_fleet",
 ]

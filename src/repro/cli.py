@@ -10,10 +10,15 @@ Installed as the ``repro`` console script::
     repro fingerprint  [--seed N] [--mitigation NAME]
     repro catalog
     repro capture      OUTPUT_DIR [--seed N] [--duration SECONDS]
+    repro fleet        [--households N] [--workers W] [--shard-size N]
+                       [--cache-dir PATH] [--resume] [--json PATH]
+                       [--fault-plan PATH] [--keep-going | --fail-fast]
 
 ``repro classify`` works on *any* classic-pcap file (including captures
 from a real network), making the classifier pair usable outside the
-simulation.
+simulation.  ``repro fleet`` is the sharded, cached, multi-process
+version of the Table 2 crowdsourced analysis; see ``docs/cli.md`` for
+the complete flag reference and ``docs/fleet.md`` for its guarantees.
 """
 
 from __future__ import annotations
@@ -42,7 +47,7 @@ def _check_output_paths(args: argparse.Namespace) -> Optional[str]:
     """
     import os
 
-    for flag in ("metrics_out", "trace_out"):
+    for flag in ("metrics_out", "trace_out", "json"):
         path = getattr(args, flag, None)
         if not path:
             continue
@@ -279,6 +284,99 @@ def _cmd_capture(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import FleetConfigError, FleetError, FleetRunner, FleetSpec
+    from repro.report.tables import render_table2
+
+    error = _check_output_paths(args)
+    if error:
+        print(f"repro fleet: error: {error}", file=sys.stderr)
+        return 2
+    fault_plan, error = _load_fault_plan(getattr(args, "fault_plan", None))
+    if error:
+        print(f"repro fleet: error: {error}", file=sys.stderr)
+        return 2
+    obs = _build_observability(args)
+    spec_kwargs = dict(
+        seed=args.seed,
+        households=args.households,
+        target_devices=args.target_devices,
+        validate_oui=not args.no_validate_oui,
+    )
+    if args.shard_size is not None:
+        spec_kwargs["shard_size"] = args.shard_size
+    try:
+        spec = FleetSpec(**spec_kwargs)
+        runner = FleetRunner(
+            spec=spec,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+            fault_plan=fault_plan,
+            keep_going=not args.fail_fast,
+            obs=obs,
+        )
+    except (FleetConfigError, ValueError) as error:
+        print(f"repro fleet: error: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = runner.run()
+    except FleetConfigError as error:
+        print(f"repro fleet: error: {error}", file=sys.stderr)
+        return 2
+    except FleetError as error:
+        print(f"repro fleet: error: {error}", file=sys.stderr)
+        return 1
+    _write_observability_outputs(obs, args)
+
+    if result.report is not None:
+        print(render_table2(result.report))
+        print()
+    summary = result.summary()
+    states = summary["states"]
+    print(
+        f"fleet: {summary['shards']} shards "
+        f"({states.get('completed', 0)} computed, "
+        f"{states.get('cached', 0)} cached, "
+        f"{states.get('failed', 0)} failed), "
+        f"workers {summary['workers']}, "
+        f"cache {summary['cache_hits']} hits / "
+        f"{summary['cache_misses']} misses / "
+        f"{summary['cache_writes']} writes, "
+        f"{summary['wall_seconds']:.1f}s wall"
+        + (" [resumed]" if result.resumed else "")
+    )
+    if result.failures:
+        print(f"{len(result.failures)} shard failure(s) isolated "
+              f"(partial report):", file=sys.stderr)
+        for failure in result.failures:
+            print(f"  shard {failure.shard} "
+                  f"[{failure.start}, {failure.stop}): {failure.error}",
+                  file=sys.stderr)
+    if args.json:
+        payload = {
+            "spec": spec.to_dict(),
+            "summary": summary,
+            "report": result.report.to_dict() if result.report else None,
+            "failures": [
+                {"shard": failure.shard, "start": failure.start,
+                 "stop": failure.stop, "error": failure.error}
+                for failure in result.failures
+            ],
+            "shards": [
+                {"index": state.index, "start": state.start, "stop": state.stop,
+                 "state": state.state, "seconds": state.seconds}
+                for state in result.shard_states
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"run summary written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -341,6 +439,50 @@ def build_parser() -> argparse.ArgumentParser:
     capture.add_argument("--seed", type=int, default=7)
     capture.add_argument("--duration", type=float, default=600.0)
     capture.set_defaults(func=_cmd_capture)
+
+    fleet = sub.add_parser(
+        "fleet", help="sharded multi-process Table 2 run with shard caching")
+    fleet.add_argument("--seed", type=int, default=23)
+    fleet.add_argument("--households", type=int, default=3860,
+                       help="population size (3860 = the paper's §6.3 subset)")
+    fleet.add_argument("--target-devices", type=int, default=12669,
+                       help="population device-count target")
+    fleet.add_argument("--shard-size", type=int, default=None,
+                       help="households per shard "
+                            "(default: REPRO_FLEET_SHARD_SIZE or 256)")
+    fleet.add_argument("--workers", type=int, default=None,
+                       help="worker processes "
+                            "(default: REPRO_FLEET_WORKERS or the CPU count)")
+    fleet.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="content-addressed shard cache + checkpoint manifest")
+    fleet.add_argument("--resume", action="store_true",
+                       help="continue a previous --cache-dir run "
+                            "(errors if the manifest does not match)")
+    fleet.add_argument("--no-validate-oui", action="store_true",
+                       help="skip OUI validation of MAC candidates "
+                            "(the §6.3 ablation)")
+    fleet.add_argument("--json", metavar="PATH", default=None,
+                       help="write the merged report + run summary as JSON")
+    fleet.add_argument("--fault-plan", metavar="PATH", default=None,
+                       help="inject shard faults from a JSON plan's "
+                            "'shards' section (see docs/resilience.md)")
+    fleet_going = fleet.add_mutually_exclusive_group()
+    fleet_going.add_argument("--keep-going", dest="fail_fast",
+                             action="store_false",
+                             help="isolate shard failures into a partial "
+                                  "report (default)")
+    fleet_going.add_argument("--fail-fast", dest="fail_fast",
+                             action="store_true",
+                             help="exit 1 on the first shard failure "
+                                  "(after in-flight shards finish)")
+    fleet.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write a JSON metrics snapshot after the run")
+    fleet.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a Chrome trace_event file (chrome://tracing)")
+    fleet.add_argument("--log-level", default=None,
+                       choices=["debug", "info", "warning", "error"],
+                       help="enable structured logging at this level")
+    fleet.set_defaults(func=_cmd_fleet, fail_fast=False)
     return parser
 
 

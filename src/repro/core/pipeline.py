@@ -23,7 +23,7 @@ from repro.classify.crossval import CrossValidation, cross_validate
 from repro.core.device_graph import DeviceGraph, build_device_graph
 from repro.core.exfiltration import ExfiltrationAudit, audit_app_runs
 from repro.core.exposure import ExposureMatrix, analyze_exposure
-from repro.core.fingerprint import FingerprintReport, fingerprint_households
+from repro.core.fingerprint import FingerprintReport
 from repro.core.periodicity import PeriodicityResult, analyze_periodicity
 from repro.core.protocol_census import (
     ProtocolCensus,
@@ -429,7 +429,14 @@ class StudyPipeline:
                 if self.injector is not None:
                     report.fault_summary = self.injector.summary()
                 if self.include_crowdsourced:
-                    report.fingerprint = fingerprint_households(seed=self.seed + 16)
+                    # Delegate to the sharded fleet runner; with the default
+                    # spec it produces a report byte-identical to the serial
+                    # fingerprint_households() path (see docs/fleet.md).
+                    from repro.fleet import FleetSpec, run_fleet
+
+                    report.fingerprint = run_fleet(
+                        FleetSpec(seed=self.seed + 16), obs=self.obs
+                    ).report
                 for artifact in ("census", "device_graph", "exposure", "responses",
                                  "periodicity", "crossval", "threat", "exfiltration"):
                     if analyses.get(artifact, True) is not None:

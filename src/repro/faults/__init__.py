@@ -26,6 +26,7 @@ from repro.faults.plan import (
     FaultPlan,
     FlapWindow,
     LinkFaults,
+    ShardFaults,
     UnresponsivePort,
 )
 from repro.faults.injector import FaultInjector
@@ -39,6 +40,7 @@ __all__ = [
     "FaultPlan",
     "FlapWindow",
     "LinkFaults",
+    "ShardFaults",
     "UnresponsivePort",
     "corrupt_bits",
     "mutate_discovery_payload",

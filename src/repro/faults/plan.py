@@ -26,8 +26,13 @@ Schema (all sections optional; unknown keys are rejected)::
       "unresponsive_ports": [
         {"device": "*", "transport": "tcp", "port": 80,
          "start": 0.0, "duration": null}
-      ]
+      ],
+      "shards": {"fail": [1, 3], "fail_rate": 0.0}
     }
+
+The ``shards`` section is read by :mod:`repro.fleet` (worker-process
+crash injection), not by the LAN injector; a shards-only plan leaves a
+``repro study`` run byte-identical.
 """
 
 from __future__ import annotations
@@ -255,6 +260,40 @@ class UnresponsivePort:
 
 
 @dataclass(frozen=True)
+class ShardFaults:
+    """Deterministic fleet-shard worker crashes (read by ``repro.fleet``).
+
+    ``fail`` names shard indices that always die; ``fail_rate`` kills
+    each shard with that probability, drawn from a PRNG derived from
+    the study seed + ``seed_salt`` so the same (seed, plan) pair dooms
+    the same shards every run.
+    """
+
+    fail: Tuple[int, ...] = ()
+    fail_rate: float = 0.0
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.fail and self.fail_rate == 0.0
+
+    @classmethod
+    def from_dict(cls, raw: dict, section: str = "shards") -> "ShardFaults":
+        _reject_unknown(section, raw, ("fail", "fail_rate"))
+        fail = raw.get("fail", [])
+        if not isinstance(fail, list):
+            raise FaultPlanError(f"{section}.fail: expected a list of shard indices")
+        for index in fail:
+            if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+                raise FaultPlanError(
+                    f"{section}.fail: expected ints >= 0, got {index!r}")
+        return cls(
+            fail=tuple(fail),
+            fail_rate=_require_probability(section, "fail_rate",
+                                           raw.get("fail_rate", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full validated chaos schedule."""
 
@@ -264,10 +303,16 @@ class FaultPlan:
     discovery: Optional[DiscoveryMutation] = None
     flaps: Tuple[FlapWindow, ...] = ()
     unresponsive_ports: Tuple[UnresponsivePort, ...] = ()
+    #: Fleet-shard crash injection; not consulted by the LAN injector.
+    shards: Optional[ShardFaults] = None
 
     @property
     def is_empty(self) -> bool:
-        """True when installing this plan can never change behaviour."""
+        """True when *installing* this plan (on a Lan) can never change
+        behaviour.  Shard faults live outside the Lan, so a shards-only
+        plan is still "empty" here — ``repro study`` stays
+        byte-identical — and :attr:`has_shard_faults` reports the fleet
+        side separately."""
         return (
             all(link.is_noop for link in self.links)
             and (self.discovery is None or self.discovery.probability == 0.0)
@@ -275,12 +320,17 @@ class FaultPlan:
             and not self.unresponsive_ports
         )
 
+    @property
+    def has_shard_faults(self) -> bool:
+        """True when the fleet runner would inject shard crashes."""
+        return self.shards is not None and not self.shards.is_noop
+
     @classmethod
     def from_dict(cls, raw: dict) -> "FaultPlan":
         if not isinstance(raw, dict):
             raise FaultPlanError(f"plan: expected a JSON object, got {type(raw).__name__}")
         _reject_unknown("plan", raw, ("name", "seed_salt", "links", "discovery",
-                                      "flaps", "unresponsive_ports"))
+                                      "flaps", "unresponsive_ports", "shards"))
         seed_salt = raw.get("seed_salt", 0)
         if not isinstance(seed_salt, int) or isinstance(seed_salt, bool):
             raise FaultPlanError("plan.seed_salt: expected an integer")
@@ -299,6 +349,8 @@ class FaultPlan:
             unresponsive_ports=tuple(
                 UnresponsivePort.from_dict(entry, f"unresponsive_ports[{i}]")
                 for i, entry in enumerate(raw.get("unresponsive_ports", ()))),
+            shards=(ShardFaults.from_dict(raw["shards"])
+                    if raw.get("shards") is not None else None),
         )
 
     @classmethod

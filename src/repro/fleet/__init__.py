@@ -1,0 +1,49 @@
+"""``repro.fleet`` — the sharded household-fleet runner (§6.3 at scale).
+
+IoT Inspector ingests households independently and aggregates; the
+fleet runner exploits exactly that shard boundary.  It partitions the
+synthetic crowdsourced population into contiguous household ranges,
+generates + analyzes each range in a worker process, and merges the
+per-shard partials into a :class:`~repro.core.fingerprint.FingerprintReport`
+that is **byte-identical** to the serial
+:func:`~repro.core.fingerprint.fingerprint_households` path for the
+same seed — regardless of worker count.
+
+Completed shards land in a content-addressed cache (key = hash of the
+generation spec + shard range + analysis code version), which doubles
+as the checkpoint store: a killed run restarts from its completed
+shards.  See ``docs/fleet.md`` for the sharding model, determinism
+guarantees, and cache/resume semantics.
+"""
+
+from repro.fleet.cache import ShardCache
+from repro.fleet.merge import merge_shard_results
+from repro.fleet.runner import (
+    FleetConfigError,
+    FleetError,
+    FleetResult,
+    FleetRunner,
+    ShardFailure,
+    ShardState,
+    run_fleet,
+)
+from repro.fleet.shard import ShardFaultInjected, run_shard
+from repro.fleet.spec import FleetSpec, ShardRange, code_version, shard_key
+
+__all__ = [
+    "FleetConfigError",
+    "FleetError",
+    "FleetResult",
+    "FleetRunner",
+    "FleetSpec",
+    "ShardCache",
+    "ShardFailure",
+    "ShardFaultInjected",
+    "ShardRange",
+    "ShardState",
+    "code_version",
+    "merge_shard_results",
+    "run_fleet",
+    "run_shard",
+    "shard_key",
+]

@@ -1,0 +1,81 @@
+"""The content-addressed shard cache (checkpoint store).
+
+One JSON file per shard result, named by the shard's content address
+(:func:`repro.fleet.spec.shard_key`).  Because the key covers the full
+generation spec *and* the code version, a cache directory can be shared
+across runs, seeds, and population sizes without collision — a stale
+or foreign entry simply never matches.
+
+Writes are atomic (temp file + ``os.replace``), so a shard is either
+fully checkpointed or absent; a killed run never leaves a torn entry.
+Corrupt files (truncated by hand, bad JSON) are treated as misses and
+quietly replaced on the next store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+
+class ShardCache:
+    """Content-addressed JSON store for shard results."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"shard-{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The cached result for ``key``, or ``None`` (counted as miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict) -> Path:
+        """Atomically write ``payload`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), prefix=".tmp-shard-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }

@@ -1,0 +1,57 @@
+"""Merge per-shard results into the population report.
+
+Every aggregate the Table 2 report needs is additive over households —
+set unions, integer sums, concatenated per-household counts — so the
+merge is **exact**, not approximate: for shards covering the full
+population it reproduces the serial
+:func:`~repro.core.fingerprint.fingerprint_households` report byte for
+byte (pinned by ``tests/fleet/test_equivalence.py``).
+
+Shard results are combined in household order (sorted by ``start``), so
+the merged per-household device-count sequence — and therefore the
+median — matches the serial sweep regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.fingerprint import FingerprintReport
+from repro.inspector.entropy import EntropyAnalysis
+from repro.fleet.spec import FleetSpec
+
+
+def merge_shard_results(
+    spec: FleetSpec, results: List[Dict[str, object]]
+) -> FingerprintReport:
+    """Combine shard-result dicts into one :class:`FingerprintReport`.
+
+    ``results`` may cover only part of the population (keep-going mode
+    after shard failures); the report then describes the households
+    actually analyzed.
+    """
+    if not results:
+        raise ValueError("cannot merge zero shard results")
+    ordered = sorted(results, key=lambda result: int(result["start"]))
+    analysis = EntropyAnalysis.merge(
+        [EntropyAnalysis.from_dict(result["analysis"]) for result in ordered]
+    )
+    vendor_counts: Dict[str, int] = {}
+    product_counts: Dict[str, int] = {}
+    household_device_counts: List[int] = []
+    device_total = 0
+    for result in ordered:
+        device_total += int(result["device_count"])
+        household_device_counts.extend(result["household_device_counts"])
+        for vendor, count in result["vendor_counts"].items():
+            vendor_counts[vendor] = vendor_counts.get(vendor, 0) + count
+        for product, count in result["product_counts"].items():
+            product_counts[product] = product_counts.get(product, 0) + count
+    return FingerprintReport.from_analysis(
+        analysis,
+        dataset_devices=device_total,
+        dataset_households=len(household_device_counts),
+        dataset_vendors=len(vendor_counts),
+        dataset_products=len(product_counts),
+        household_device_counts=household_device_counts,
+    )

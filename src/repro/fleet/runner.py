@@ -1,0 +1,431 @@
+"""The fleet orchestrator: dispatch shards, cache, merge, observe.
+
+``FleetRunner`` plans the shard partition from a
+:class:`~repro.fleet.spec.FleetSpec`, serves completed shards from the
+content-addressed cache, dispatches the rest to a
+``ProcessPoolExecutor`` (``workers=1`` runs inline — no pool, no
+process overhead), checkpoints each completion, and merges the partials
+into the population :class:`~repro.core.fingerprint.FingerprintReport`.
+
+Failure contract (mirrors the analysis fan-out of
+:class:`~repro.core.pipeline.StudyPipeline`): every shard runs to
+completion regardless of sibling failures; in keep-going mode failures
+are isolated into :class:`ShardFailure` entries and the merge covers
+the completed shards (a partial report), in fail-fast mode the first
+failure is re-raised as :class:`FleetError` — after the in-flight
+siblings finished, so their results still reached the cache.
+
+Observability: one ``fleet.run`` span, one ``fleet.shard`` span per
+shard (state + worker-measured seconds in attrs),
+``fleet_shards_total{state=cached|completed|failed}``,
+``fleet_cache_{hits,misses,writes}_total``, and the
+``fleet_shard_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import traceback as _traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.core.fingerprint import FingerprintReport
+from repro.faults.plan import FaultPlan
+from repro.fleet.cache import ShardCache
+from repro.fleet.merge import merge_shard_results
+from repro.fleet.shard import run_shard
+from repro.fleet.spec import FleetSpec, ShardRange, code_version, default_workers, shard_key
+from repro.inspector.generate import derive_rng
+from repro.obs import Observability, get_obs
+
+MANIFEST_NAME = "manifest.json"
+
+
+class FleetError(RuntimeError):
+    """A fleet run that cannot proceed (fail-fast shard failure)."""
+
+
+class FleetConfigError(FleetError):
+    """A fleet run that was mis-configured (bad resume state, no cache dir).
+
+    Separate from :class:`FleetError` so the CLI can map configuration
+    mistakes to exit 2 and genuine shard failures to exit 1.
+    """
+
+
+@dataclass
+class ShardFailure:
+    """One shard whose worker raised and was isolated (keep-going mode)."""
+
+    shard: int
+    start: int
+    stop: int
+    error: str
+    traceback: str = ""
+
+
+@dataclass
+class ShardState:
+    """Where one shard's result came from, and how long it took."""
+
+    index: int
+    start: int
+    stop: int
+    state: str  # "cached" | "completed" | "failed"
+    key: Optional[str] = None
+    seconds: float = 0.0
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced."""
+
+    spec: FleetSpec
+    workers: int
+    #: The merged Table 2 report; ``None`` only when *every* shard failed.
+    report: Optional[FingerprintReport]
+    shard_states: List[ShardState] = field(default_factory=list)
+    failures: List[ShardFailure] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_writes: int = 0
+    wall_seconds: float = 0.0
+    resumed: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+    @property
+    def shards_total(self) -> int:
+        return len(self.shard_states)
+
+    def summary(self) -> Dict[str, object]:
+        states: Dict[str, int] = {}
+        for shard in self.shard_states:
+            states[shard.state] = states.get(shard.state, 0) + 1
+        return {
+            "shards": self.shards_total,
+            "states": states,
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_writes": self.cache_writes,
+            "complete": self.complete,
+            "wall_seconds": self.wall_seconds,
+            "resumed": self.resumed,
+        }
+
+
+def _planned_failures(spec: FleetSpec, plan: Optional[FaultPlan],
+                      shards: List[ShardRange]) -> Set[int]:
+    """Which shard indices the fault plan kills, deterministically.
+
+    Explicit indices come straight from ``shards.fail``; ``fail_rate``
+    draws from a PRNG derived from ``(seed, "fleet-faults", seed_salt)``
+    so the same (seed, plan) pair kills the same shards every run.
+    """
+    if plan is None or plan.shards is None or plan.shards.is_noop:
+        return set()
+    doomed = {index for index in plan.shards.fail if index < len(shards)}
+    if plan.shards.fail_rate > 0.0:
+        rng = derive_rng(spec.seed, "fleet-faults", plan.seed_salt)
+        for shard in shards:
+            if rng.random() < plan.shards.fail_rate:
+                doomed.add(shard.index)
+    return doomed
+
+
+class FleetRunner:
+    """Orchestrates one sharded fingerprinting run.
+
+    Parameters mirror the ``repro fleet`` CLI flags; ``workers=None``
+    resolves via ``REPRO_FLEET_WORKERS`` (default: CPU count) and
+    ``obs=None`` picks up the ambient observability context.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[FleetSpec] = None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        resume: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        keep_going: bool = True,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.spec = spec if spec is not None else FleetSpec()
+        self.workers = max(1, workers if workers is not None else default_workers())
+        self.cache = ShardCache(cache_dir) if cache_dir is not None else None
+        self.resume = resume
+        self.fault_plan = fault_plan
+        self.keep_going = keep_going
+        self.obs = obs if obs is not None else get_obs()
+        if resume and self.cache is None:
+            raise FleetConfigError("--resume requires a cache directory")
+
+    # -- checkpoint manifest -------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Optional[Path]:
+        return self.cache.root / MANIFEST_NAME if self.cache is not None else None
+
+    def _load_manifest(self) -> Optional[dict]:
+        path = self.manifest_path
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _check_resume(self) -> bool:
+        """Validate the previous run's manifest; returns True when resuming."""
+        if not self.resume:
+            return False
+        manifest = self._load_manifest()
+        if manifest is None:
+            raise FleetConfigError(
+                f"--resume: no readable manifest in {self.cache.root}; "
+                "run once with --cache-dir first")
+        if manifest.get("spec") != self.spec.to_dict():
+            raise FleetConfigError(
+                "--resume: cache manifest was written for a different fleet "
+                f"spec ({manifest.get('spec')} != {self.spec.to_dict()})")
+        if manifest.get("code_version") != code_version():
+            raise FleetConfigError(
+                "--resume: generator/analysis code changed since the previous "
+                "run; cached shards are stale (drop --resume to regenerate)")
+        return True
+
+    def _write_manifest(self, states: Dict[int, ShardState]) -> None:
+        path = self.manifest_path
+        if path is None:
+            return
+        payload = {
+            "spec": self.spec.to_dict(),
+            "code_version": code_version(),
+            "workers": self.workers,
+            "shards": {
+                str(index): {
+                    "start": state.start,
+                    "stop": state.stop,
+                    "state": state.state,
+                    "key": state.key,
+                    "seconds": state.seconds,
+                }
+                for index, state in sorted(states.items())
+            },
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-manifest-",
+                                   suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- observability helpers -----------------------------------------------------
+
+    def _record_shard(self, parent_span, state: ShardState) -> None:
+        obs = self.obs
+        if not obs.enabled:
+            return
+        with obs.tracer.span("fleet.shard", _parent=parent_span,
+                             shard=state.index, state=state.state,
+                             households=state.stop - state.start,
+                             shard_seconds=state.seconds):
+            pass
+        obs.metrics.counter(
+            "fleet_shards_total", "fleet shards by terminal state",
+        ).inc(state=state.state)
+        if state.state == "completed":
+            obs.metrics.histogram(
+                "fleet_shard_seconds", "worker-measured seconds per computed shard",
+            ).observe(state.seconds)
+
+    def _record_cache_metrics(self) -> None:
+        obs = self.obs
+        if not obs.enabled or self.cache is None:
+            return
+        obs.metrics.counter(
+            "fleet_cache_hits_total", "shard results served from the cache",
+        ).inc(self.cache.hits)
+        obs.metrics.counter(
+            "fleet_cache_misses_total", "shard results absent from the cache",
+        ).inc(self.cache.misses)
+        obs.metrics.counter(
+            "fleet_cache_writes_total", "shard results checkpointed to the cache",
+        ).inc(self.cache.writes)
+
+    # -- the run -------------------------------------------------------------------
+
+    def run(self) -> FleetResult:
+        obs = self.obs
+        started = time.perf_counter()
+        resumed = self._check_resume()
+        shards = self.spec.shards()
+        doomed = _planned_failures(self.spec, self.fault_plan, shards)
+        spec_dict = self.spec.to_dict()
+
+        states: Dict[int, ShardState] = {}
+        results: Dict[int, dict] = {}
+        failures: List[ShardFailure] = []
+        logger = obs.logger("fleet")
+
+        with ExitStack() as stack:
+            run_span = None
+            if obs.enabled:
+                run_span = stack.enter_context(obs.tracer.span(
+                    "fleet.run", seed=self.spec.seed,
+                    households=self.spec.households,
+                    shards=len(shards), workers=self.workers))
+            if obs.enabled:
+                obs.metrics.gauge(
+                    "fleet_workers", "process-pool width of the fleet run",
+                ).set(self.workers)
+
+            # Phase 1: serve every shard the cache already has.
+            pending: List[ShardRange] = []
+            keys: Dict[int, str] = {}
+            for shard in shards:
+                key = shard_key(self.spec, shard) if self.cache is not None else None
+                keys[shard.index] = key
+                payload = self.cache.load(key) if self.cache is not None else None
+                if payload is not None:
+                    results[shard.index] = payload
+                    states[shard.index] = ShardState(
+                        index=shard.index, start=shard.start, stop=shard.stop,
+                        state="cached", key=key,
+                        seconds=float(payload.get("seconds", 0.0)))
+                    self._record_shard(run_span, states[shard.index])
+                else:
+                    pending.append(shard)
+            if obs.enabled and self.cache is not None:
+                logger.info("cache_scan", hits=self.cache.hits,
+                            misses=self.cache.misses)
+
+            # Phase 2: compute the rest (inline at workers=1, else pool).
+            def finish(shard: ShardRange, payload: Optional[dict],
+                       error: Optional[BaseException]) -> None:
+                key = keys[shard.index]
+                if error is not None:
+                    failures.append(ShardFailure(
+                        shard=shard.index, start=shard.start, stop=shard.stop,
+                        error=f"{type(error).__name__}: {error}",
+                        traceback="".join(_traceback.format_exception(
+                            type(error), error, error.__traceback__)),
+                    ))
+                    states[shard.index] = ShardState(
+                        index=shard.index, start=shard.start, stop=shard.stop,
+                        state="failed", key=key)
+                    if obs.enabled:
+                        logger.error("shard_failed", shard=shard.index,
+                                     error=failures[-1].error)
+                else:
+                    results[shard.index] = payload
+                    if self.cache is not None:
+                        self.cache.store(key, payload)
+                    states[shard.index] = ShardState(
+                        index=shard.index, start=shard.start, stop=shard.stop,
+                        state="completed", key=key,
+                        seconds=float(payload.get("seconds", 0.0)))
+                self._record_shard(run_span, states[shard.index])
+                self._write_manifest(states)
+
+            if self.workers == 1 or len(pending) <= 1:
+                for shard in pending:
+                    try:
+                        payload = run_shard(spec_dict, shard.start, shard.stop,
+                                            inject_failure=shard.index in doomed)
+                    except Exception as exc:  # noqa: BLE001 - isolated via finish()
+                        finish(shard, None, exc)
+                    else:
+                        finish(shard, payload, None)
+            elif pending:
+                with ProcessPoolExecutor(max_workers=min(self.workers,
+                                                         len(pending))) as pool:
+                    futures = {
+                        pool.submit(run_shard, spec_dict, shard.start, shard.stop,
+                                    shard.index in doomed): shard
+                        for shard in pending
+                    }
+                    remaining = set(futures)
+                    while remaining:
+                        done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            shard = futures[future]
+                            try:
+                                payload = future.result()
+                            except Exception as exc:  # noqa: BLE001
+                                finish(shard, None, exc)
+                            else:
+                                finish(shard, payload, None)
+
+            self._record_cache_metrics()
+
+            # Phase 3: merge in household order.
+            report: Optional[FingerprintReport] = None
+            if results:
+                merged = [results[index] for index in sorted(results)]
+                if obs.enabled:
+                    with obs.tracer.span("fleet.merge", _parent=run_span,
+                                         shards=len(merged)):
+                        report = merge_shard_results(self.spec, merged)
+                else:
+                    report = merge_shard_results(self.spec, merged)
+
+            if failures and not self.keep_going:
+                first = failures[0]
+                raise FleetError(
+                    f"shard {first.shard} (households [{first.start}, "
+                    f"{first.stop})) failed: {first.error}")
+
+            result = FleetResult(
+                spec=self.spec,
+                workers=self.workers,
+                report=report,
+                shard_states=[states[index] for index in sorted(states)],
+                failures=failures,
+                cache_hits=self.cache.hits if self.cache is not None else 0,
+                cache_misses=self.cache.misses if self.cache is not None else 0,
+                cache_writes=self.cache.writes if self.cache is not None else 0,
+                wall_seconds=time.perf_counter() - started,
+                resumed=resumed,
+            )
+            if run_span is not None:
+                run_span.set_attr("failed_shards", len(failures))
+                run_span.set_attr("cache_hits", result.cache_hits)
+            if obs.enabled:
+                logger.info("run_complete", shards=result.shards_total,
+                            failed=len(failures), cache_hits=result.cache_hits,
+                            wall_seconds=result.wall_seconds)
+            return result
+
+
+def run_fleet(
+    spec: Optional[FleetSpec] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    keep_going: bool = True,
+    obs: Optional[Observability] = None,
+) -> FleetResult:
+    """One-call fleet run; see :class:`FleetRunner` for the knobs."""
+    return FleetRunner(
+        spec=spec, workers=workers, cache_dir=cache_dir, resume=resume,
+        fault_plan=fault_plan, keep_going=keep_going, obs=obs,
+    ).run()

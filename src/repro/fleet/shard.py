@@ -1,0 +1,74 @@
+"""The shard worker: generate + analyze one household range.
+
+``run_shard`` is the unit of work the fleet dispatches to its
+``ProcessPoolExecutor``.  It takes only plain data (the spec's dict
+form and a household range) and returns only plain data (a JSON-able
+shard result), so it pickles cheaply across the process boundary and
+its output can land in the content-addressed cache verbatim.
+
+The result carries everything the merge needs and nothing else: the
+serialized :class:`~repro.inspector.entropy.EntropyAnalysis` partial
+plus the per-household device counts and vendor/product tallies that
+feed the report's context statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.inspector.entropy import analyze_dataset
+from repro.inspector.generate import build_context, generate_households
+from repro.inspector.schema import InspectorDataset
+
+
+class ShardFaultInjected(RuntimeError):
+    """The deterministic worker crash the fault plan's ``shards`` section asks for."""
+
+
+def run_shard(
+    spec_dict: Dict[str, object],
+    start: int,
+    stop: int,
+    inject_failure: bool = False,
+) -> Dict[str, object]:
+    """Generate households ``[start, stop)`` and analyze them.
+
+    With ``inject_failure`` the worker dies *before* generating — the
+    fleet's per-shard chaos hook — so an injected crash never pollutes
+    the cache with a partial result.
+    """
+    if inject_failure:
+        raise ShardFaultInjected(
+            f"fault plan killed shard covering households [{start}, {stop})")
+    started = time.perf_counter()
+    context = build_context(
+        seed=int(spec_dict["seed"]),
+        households=int(spec_dict["households"]),
+        target_devices=int(spec_dict["target_devices"]),
+        vendor_count=int(spec_dict["vendor_count"]),
+        product_count=int(spec_dict["product_count"]),
+    )
+    households = generate_households(context, start, stop)
+    dataset = InspectorDataset(households=households)
+    analysis = analyze_dataset(dataset, validate_oui=bool(spec_dict["validate_oui"]))
+
+    vendor_counts: Dict[str, int] = {}
+    product_counts: Dict[str, int] = {}
+    device_counts: List[int] = []
+    for household in households:
+        device_counts.append(household.device_count)
+        for device in household.devices:
+            vendor_counts[device.truth_vendor] = vendor_counts.get(device.truth_vendor, 0) + 1
+            product_counts[device.truth_product] = product_counts.get(device.truth_product, 0) + 1
+
+    return {
+        "start": start,
+        "stop": stop,
+        "device_count": dataset.device_count,
+        "household_device_counts": device_counts,
+        "vendor_counts": vendor_counts,
+        "product_counts": product_counts,
+        "analysis": analysis.to_dict(),
+        "seconds": time.perf_counter() - started,
+    }

@@ -100,6 +100,46 @@ class ExposureRow:
         unique = sum(1 for fingerprint in self.fingerprints.values() if counts[fingerprint] == 1)
         return unique / len(self.fingerprints)
 
+    def to_dict(self) -> Dict[str, object]:
+        """A canonical JSON-able form (sets become sorted lists)."""
+        return {
+            "identifier_types": sorted(self.identifier_types),
+            "products": sorted(self.products),
+            "vendors": sorted(self.vendors),
+            "devices": self.devices,
+            "households": sorted(self.households),
+            "fingerprints": {
+                household: sorted(values)
+                for household, values in sorted(self.fingerprints.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ExposureRow":
+        return cls(
+            identifier_types=frozenset(raw["identifier_types"]),
+            products=set(raw["products"]),
+            vendors=set(raw["vendors"]),
+            devices=int(raw["devices"]),
+            households=set(raw["households"]),
+            fingerprints={
+                household: frozenset(values)
+                for household, values in raw["fingerprints"].items()
+            },
+        )
+
+    def absorb(self, other: "ExposureRow") -> None:
+        """Merge another partial row for the same identifier-type set.
+
+        All aggregation is additive over households (partials cover
+        disjoint household ranges), so union/sum is exact.
+        """
+        self.products |= other.products
+        self.vendors |= other.vendors
+        self.devices += other.devices
+        self.households |= other.households
+        self.fingerprints.update(other.fingerprints)
+
 
 @dataclass
 class EntropyAnalysis:
@@ -132,6 +172,65 @@ class EntropyAnalysis:
             label = ", ".join(sorted(row.identifier_types))
             output.append((row.type_count, label, row, self.entropy_of_combination(row.identifier_types)))
         return output
+
+    # -- shard partials (the fleet merge contract) ---------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A canonical JSON-able partial, the fleet's shard payload.
+
+        Every aggregate in an :class:`EntropyAnalysis` is additive over
+        households — set unions and integer sums — so an analysis of
+        any household subset serializes to a *partial* that
+        :meth:`merge` can combine losslessly with partials of the
+        remaining households.
+        """
+        return {
+            "rows": [row.to_dict() for _, row in sorted(
+                self.rows.items(),
+                key=lambda item: (len(item[0]), ",".join(sorted(item[0]))),
+            )],
+            "none_row": self.none_row.to_dict(),
+            "distinct_values": {
+                identifier_type: sorted(values)
+                for identifier_type, values in sorted(self.distinct_values.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "EntropyAnalysis":
+        analysis = cls(
+            none_row=ExposureRow.from_dict(raw["none_row"]),
+            distinct_values={
+                identifier_type: set(values)
+                for identifier_type, values in raw["distinct_values"].items()
+            },
+        )
+        for row_raw in raw["rows"]:
+            row = ExposureRow.from_dict(row_raw)
+            analysis.rows[row.identifier_types] = row
+        return analysis
+
+    def absorb(self, other: "EntropyAnalysis") -> None:
+        """Merge another partial (covering disjoint households) in place."""
+        for types, row in other.rows.items():
+            mine = self.rows.setdefault(types, ExposureRow(identifier_types=types))
+            mine.absorb(row)
+        self.none_row.absorb(other.none_row)
+        for identifier_type, values in other.distinct_values.items():
+            self.distinct_values.setdefault(identifier_type, set()).update(values)
+
+    @classmethod
+    def merge(cls, partials: "List[EntropyAnalysis]") -> "EntropyAnalysis":
+        """Combine per-shard partials into the population analysis.
+
+        Exact, not approximate: for partials covering disjoint
+        household ranges, the merge equals :func:`analyze_dataset` over
+        the union of their households.
+        """
+        merged = cls()
+        for partial in partials:
+            merged.absorb(partial)
+        return merged
 
 
 def analyze_dataset(dataset: InspectorDataset, validate_oui: bool = True) -> EntropyAnalysis:

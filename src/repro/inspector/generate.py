@@ -8,11 +8,22 @@ rare, and exactly one product (Roku TV) exposes all three identifier
 types.  Every exposure travels inside *real* mDNS/SSDP payload bytes
 built with the protocol codecs, so the entropy analysis genuinely
 extracts rather than copies.
+
+Generation is **shard-stable**: the product pool (and the vendor→OUI
+map) derive from the master seed alone, and every household draws from
+its own ``random.Random`` keyed on ``(seed, household index)``.  A
+household's bytes therefore depend only on the generation spec and its
+index — never on which other households were generated in the same
+process — which is what lets the fleet runner
+(:mod:`repro.fleet`) generate disjoint household ranges in parallel
+worker processes and still concatenate to the exact dataset
+:func:`generate_dataset` produces serially.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 import random
 import uuid as uuid_module
 from dataclasses import dataclass, field
@@ -28,6 +39,22 @@ from repro.inspector.schema import (
 from repro.net.mac import MacAddress
 from repro.protocols.mdns import ServiceAdvertisement
 from repro.protocols.ssdp import SsdpMessage, ST_ROOT_DEVICE
+
+
+def derive_seed(seed: int, *parts: object) -> int:
+    """A stable 64-bit stream seed for one labelled sub-generator.
+
+    Hash-based (BLAKE2b over ``"seed:part:..."``), so the derivation is
+    identical across processes and Python versions — the property the
+    fleet's serial-equivalence guarantee rests on.
+    """
+    key = ":".join(str(part) for part in (seed, *parts)).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
+def derive_rng(seed: int, *parts: object) -> random.Random:
+    """A ``random.Random`` seeded via :func:`derive_seed`."""
+    return random.Random(derive_seed(seed, *parts))
 
 
 class ExposureClass(enum.Enum):
@@ -139,36 +166,88 @@ def _make_product_pool(rng: random.Random, vendor_count: int, product_count: int
     return products
 
 
-_OUI_POOL = [
-    "d8:31:34", "54:60:09", "74:c2:46", "00:17:88", "48:a6:b8", "8c:71:f8",
-    "50:c7:bf", "c4:41:1e", "b0:be:76", "64:1c:ae", "a0:40:a0", "2c:aa:8e",
-]
+def _make_oui_map(rng: random.Random, products: List[ProductSpec]) -> Dict[str, str]:
+    """One OUI per vendor, fixed for the whole population.
 
-
-def _vendor_oui(vendor: str, rng: random.Random, cache: Dict[str, str]) -> str:
-    if vendor not in cache:
-        if vendor == "Roku":
-            cache[vendor] = "d8:31:34"
-        elif vendor == "Google":
-            cache[vendor] = "54:60:09"
-        elif vendor == "Amazon":
-            cache[vendor] = "74:c2:46"
-        elif vendor == "Philips":
-            cache[vendor] = "00:17:88"
+    Precomputed from the pool (not lazily per household) so every
+    household — whichever shard generates it — sees the same vendor→OUI
+    assignment.
+    """
+    fixed = {
+        "Roku": "d8:31:34",
+        "Google": "54:60:09",
+        "Amazon": "74:c2:46",
+        "Philips": "00:17:88",
+    }
+    oui_map: Dict[str, str] = {}
+    for spec in products:
+        if spec.vendor in oui_map:
+            continue
+        if spec.vendor in fixed:
+            oui_map[spec.vendor] = fixed[spec.vendor]
         else:
-            cache[vendor] = (
+            oui_map[spec.vendor] = (
                 f"{rng.randrange(0, 255) & 0xFC:02x}:{rng.randrange(256):02x}:{rng.randrange(256):02x}"
             )
-    return cache[vendor]
+    return oui_map
+
+
+@dataclass
+class GenerationContext:
+    """Everything shared by every household of one population.
+
+    Built from the master seed alone (see :func:`build_context`), so
+    any process can reconstruct it and generate any household range.
+    """
+
+    seed: int
+    households: int
+    target_devices: int
+    products: List[ProductSpec]
+    weights: List[float]
+    oui_map: Dict[str, str]
+
+    @property
+    def mean_devices(self) -> float:
+        return self.target_devices / self.households
+
+    @property
+    def roku_spec(self) -> ProductSpec:
+        return self.products[0]
+
+    @property
+    def name_spec(self) -> ProductSpec:
+        return next(spec for spec in self.products if spec.exposure is ExposureClass.NAME)
+
+
+def build_context(
+    seed: int = 23,
+    households: int = 3860,
+    target_devices: int = 12669,
+    vendor_count: int = 165,
+    product_count: int = 264,
+) -> GenerationContext:
+    """Build the population-wide generation context for one spec."""
+    pool_rng = derive_rng(seed, "pool")
+    products = _make_product_pool(pool_rng, vendor_count, product_count)
+    oui_map = _make_oui_map(derive_rng(seed, "oui"), products)
+    return GenerationContext(
+        seed=seed,
+        households=households,
+        target_devices=target_devices,
+        products=products,
+        weights=[spec.popularity for spec in products],
+        oui_map=oui_map,
+    )
 
 
 def _build_device(
     rng: random.Random,
     spec: ProductSpec,
     user_salt: bytes,
-    oui_cache: Dict[str, str],
+    oui_map: Dict[str, str],
 ) -> InspectedDevice:
-    oui = _vendor_oui(spec.vendor, rng, oui_cache)
+    oui = oui_map[spec.vendor]
     mac = MacAddress(bytes(int(part, 16) for part in oui.split(":")) + bytes(rng.randrange(256) for _ in range(3)))
     exposure = spec.exposure.types
     owner = rng.choice(FIRST_NAMES)
@@ -261,6 +340,49 @@ def _household_flows(rng: random.Random, household: Household) -> List[FlowRecor
     return flows
 
 
+def generate_household(context: GenerationContext, index: int) -> Household:
+    """Generate household ``index`` of the population, order-free.
+
+    All randomness comes from RNGs derived from ``(seed, index)``, so
+    the result is identical whether the household is generated alone,
+    inside a shard, or as part of the full serial sweep.
+    """
+    rng = derive_rng(context.seed, "household", index)
+    user_salt = rng.getrandbits(128).to_bytes(16, "big")
+    household = Household(user_id=f"user-{index:05d}")
+    count = max(1, min(25, int(rng.lognormvariate(1.0, 0.62) * context.mean_devices / 2.9)))
+    specs = rng.choices(context.products, weights=context.weights, k=count)
+    for spec in specs:
+        household.devices.append(_build_device(rng, spec, user_salt, context.oui_map))
+    household.flows = _household_flows(rng, household)
+
+    # Table 2 anchor rows, keyed purely by household index: households
+    # 0-1 each get the all-three Roku product, households 2-3 each get a
+    # name-only product sharing one first name.
+    if index < 4:
+        spec = context.roku_spec if index < 2 else context.name_spec
+        anchor_rng = derive_rng(context.seed, "anchor", index)
+        salt = anchor_rng.getrandbits(128).to_bytes(16, "big")
+        household.devices.append(_build_device(anchor_rng, spec, salt, context.oui_map))
+    return household
+
+
+def generate_households(
+    context: GenerationContext, start: int, stop: int
+) -> List[Household]:
+    """Generate the contiguous household range ``[start, stop)``.
+
+    The fleet's shard boundary: concatenating the ranges
+    ``[0, s), [s, 2s), ...`` in order reproduces
+    :func:`generate_dataset` byte for byte.
+    """
+    if not 0 <= start <= stop <= context.households:
+        raise ValueError(
+            f"household range [{start}, {stop}) outside population "
+            f"[0, {context.households})")
+    return [generate_household(context, index) for index in range(start, stop)]
+
+
 def generate_dataset(
     seed: int = 23,
     households: int = 3860,
@@ -268,33 +390,14 @@ def generate_dataset(
     vendor_count: int = 165,
     product_count: int = 264,
 ) -> InspectorDataset:
-    """Generate the §6.3 analysis subset."""
-    rng = random.Random(seed)
-    products = _make_product_pool(rng, vendor_count, product_count)
-    weights = [spec.popularity for spec in products]
-    oui_cache: Dict[str, str] = {}
+    """Generate the §6.3 analysis subset (the full serial sweep)."""
+    context = build_context(
+        seed=seed,
+        households=households,
+        target_devices=target_devices,
+        vendor_count=vendor_count,
+        product_count=product_count,
+    )
     dataset = InspectorDataset()
-
-    # Device counts per household: median 3, long tail.
-    mean_devices = target_devices / households
-    for user_index in range(households):
-        user_salt = rng.getrandbits(128).to_bytes(16, "big")
-        household = Household(user_id=f"user-{user_index:05d}")
-        count = max(1, min(25, int(rng.lognormvariate(1.0, 0.62) * mean_devices / 2.9)))
-        specs = rng.choices(products, weights=weights, k=count)
-        for spec in specs:
-            household.devices.append(_build_device(rng, spec, user_salt, oui_cache))
-        household.flows = _household_flows(rng, household)
-        dataset.households.append(household)
-
-    # Guarantee the Table 2 anchor rows: exactly two households with a
-    # name-only product sharing one first name, and two households with
-    # the all-three Roku product.
-    roku = products[0]
-    name_spec = next(spec for spec in products if spec.exposure is ExposureClass.NAME)
-    anchor_rng = random.Random(seed + 1)
-    for index, spec in ((0, roku), (1, roku), (2, name_spec), (3, name_spec)):
-        household = dataset.households[index]
-        salt = anchor_rng.getrandbits(128).to_bytes(16, "big")
-        household.devices.append(_build_device(anchor_rng, spec, salt, oui_cache))
+    dataset.households.extend(generate_households(context, 0, households))
     return dataset

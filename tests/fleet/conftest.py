@@ -1,0 +1,33 @@
+"""Shared fleet fixtures: a small population spec + its serial baseline.
+
+The full paper population (3,860 households) takes seconds per run;
+these tests use a 96-household spec split into three shards so every
+serial/fleet comparison stays fast while still exercising multi-shard
+merging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fingerprint import FingerprintReport, fingerprint_households
+from repro.fleet import FleetSpec
+from repro.inspector.generate import generate_dataset
+
+SMALL = dict(
+    seed=5,
+    households=96,
+    target_devices=300,
+)
+
+
+@pytest.fixture
+def small_spec() -> FleetSpec:
+    return FleetSpec(shard_size=32, **SMALL)
+
+
+@pytest.fixture(scope="session")
+def small_serial_report() -> FingerprintReport:
+    """The serial reference report for the small spec (built once)."""
+    dataset = generate_dataset(**SMALL)
+    return fingerprint_households(dataset=dataset)

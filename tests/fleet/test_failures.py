@@ -1,0 +1,118 @@
+"""Shard failure isolation, fail-fast, and shard-fault plan validation."""
+
+import pytest
+
+from repro.faults import FaultPlan, ShardFaults
+from repro.faults.plan import FaultPlanError
+from repro.fleet import FleetError, FleetSpec, run_fleet
+
+
+class TestKeepGoing:
+    def test_failures_are_isolated_into_partial_report(self, small_spec):
+        plan = FaultPlan.from_dict({"shards": {"fail": [0]}})
+        result = run_fleet(small_spec, workers=1, fault_plan=plan,
+                           keep_going=True)
+        assert not result.complete
+        assert [f.shard for f in result.failures] == [0]
+        failure = result.failures[0]
+        assert "ShardFaultInjected" in failure.error
+        assert failure.traceback  # full worker traceback is preserved
+        # The merge covers the surviving shards only.
+        assert result.report is not None
+        assert result.report.dataset_households == small_spec.households - 32
+        states = {s.index: s.state for s in result.shard_states}
+        assert states == {0: "failed", 1: "completed", 2: "completed"}
+
+    def test_all_shards_failed_yields_no_report(self, small_spec):
+        plan = FaultPlan.from_dict({"shards": {"fail": [0, 1, 2]}})
+        result = run_fleet(small_spec, workers=1, fault_plan=plan,
+                           keep_going=True)
+        assert result.report is None
+        assert len(result.failures) == 3
+
+    def test_failed_shard_never_pollutes_cache(self, tmp_path, small_spec):
+        plan = FaultPlan.from_dict({"shards": {"fail": [1]}})
+        result = run_fleet(small_spec, workers=1, cache_dir=tmp_path,
+                           fault_plan=plan, keep_going=True)
+        assert result.cache_writes == 2
+        assert len(list(tmp_path.glob("shard-*.json"))) == 2
+
+
+class TestFailFast:
+    def test_fail_fast_raises_fleet_error(self, small_spec):
+        plan = FaultPlan.from_dict({"shards": {"fail": [1]}})
+        with pytest.raises(FleetError, match="shard 1"):
+            run_fleet(small_spec, workers=1, fault_plan=plan, keep_going=False)
+
+    def test_siblings_still_reach_cache_before_raise(self, tmp_path, small_spec):
+        """Fail-fast still drains in-flight siblings, so their results
+        are checkpointed and a later resume only recomputes the victim."""
+        plan = FaultPlan.from_dict({"shards": {"fail": [1]}})
+        with pytest.raises(FleetError):
+            run_fleet(small_spec, workers=2, cache_dir=tmp_path,
+                      fault_plan=plan, keep_going=False)
+        assert len(list(tmp_path.glob("shard-*.json"))) == 2
+        second = run_fleet(small_spec, workers=2, cache_dir=tmp_path,
+                           resume=True)
+        assert second.cache_hits == 2 and second.cache_misses == 1
+
+
+class TestFailRate:
+    def test_fail_rate_is_deterministic(self, small_spec):
+        plan = FaultPlan.from_dict({"shards": {"fail_rate": 0.5}, "seed_salt": 3})
+        first = run_fleet(small_spec, workers=1, fault_plan=plan)
+        second = run_fleet(small_spec, workers=1, fault_plan=plan)
+        assert ([f.shard for f in first.failures]
+                == [f.shard for f in second.failures])
+
+    def test_fail_rate_one_kills_everything(self, small_spec):
+        plan = FaultPlan.from_dict({"shards": {"fail_rate": 1.0}})
+        result = run_fleet(small_spec, workers=1, fault_plan=plan)
+        assert len(result.failures) == len(small_spec.shards())
+
+    def test_out_of_range_indices_are_ignored(self, small_spec):
+        plan = FaultPlan.from_dict({"shards": {"fail": [500]}})
+        result = run_fleet(small_spec, workers=1, fault_plan=plan)
+        assert result.complete
+
+
+class TestShardFaultPlan:
+    def test_shards_only_plan_stays_lan_empty(self):
+        """A shards-only plan must leave `repro study` byte-identical:
+        is_empty (the LAN question) stays True."""
+        plan = FaultPlan.from_dict({"shards": {"fail": [1]}})
+        assert plan.is_empty
+        assert plan.has_shard_faults
+
+    def test_noop_shards_section(self):
+        plan = FaultPlan.from_dict({"shards": {}})
+        assert plan.shards == ShardFaults()
+        assert not plan.has_shard_faults
+
+    def test_round_trip(self):
+        plan = FaultPlan.from_dict({"shards": {"fail": [3, 1], "fail_rate": 0.25}})
+        assert plan.shards.fail == (3, 1)
+        assert plan.shards.fail_rate == 0.25
+
+    @pytest.mark.parametrize("raw", [
+        {"shards": {"fail": "1"}},
+        {"shards": {"fail": [-1]}},
+        {"shards": {"fail": [True]}},
+        {"shards": {"fail_rate": 1.5}},
+        {"shards": {"fail_rate": -0.1}},
+        {"shards": {"explode": True}},
+    ])
+    def test_invalid_sections_rejected(self, raw):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict(raw)
+
+    def test_no_validate_oui_spec_is_separate_population(self, small_spec):
+        """Sanity: the ablation flag flows through run_shard (not merged
+        with the validated population)."""
+        ablated = FleetSpec(**{**small_spec.to_dict(), "validate_oui": False})
+        base = run_fleet(small_spec, workers=1).report
+        off = run_fleet(ablated, workers=1).report
+        mac = base.row_for("mac")
+        mac_off = off.row_for("mac")
+        assert mac is not None and mac_off is not None
+        assert mac_off.devices >= mac.devices

@@ -12,7 +12,8 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("study", "classify", "scan", "fingerprint", "catalog", "capture"):
+        for command in ("study", "classify", "scan", "fingerprint", "catalog",
+                        "capture", "fleet"):
             args = parser.parse_args(
                 [command] + (["x.pcap"] if command == "classify" else [])
                 + (["/tmp/x"] if command == "capture" else [])
@@ -170,3 +171,90 @@ class TestCapture:
         assert "lab.pcap" in out
         assert (tmp_path / "lab.pcap").exists()
         assert list((tmp_path / "per-mac").glob("*.pcap"))
+
+
+class TestFleet:
+    """`repro fleet` on a small population (96 households, 3 shards)."""
+
+    ARGS = ["fleet", "--seed", "5", "--households", "96",
+            "--target-devices", "300", "--shard-size", "32", "--workers", "1"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.seed == 23 and args.households == 3860
+        assert args.workers is None and args.shard_size is None
+        assert args.fail_fast is False and args.resume is False
+
+    def test_keep_going_and_fail_fast_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--keep-going", "--fail-fast"])
+
+    def test_runs_and_prints_table_and_summary(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "3 shards (3 computed, 0 cached, 0 failed)" in out
+        assert "3 writes" in out
+
+    def test_warm_cache_then_json_summary(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "cache"
+        assert main(self.ARGS + ["--cache-dir", str(cache)]) == 0
+        json_path = tmp_path / "fleet.json"
+        assert main(self.ARGS + ["--cache-dir", str(cache),
+                                 "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(0 computed, 3 cached, 0 failed)" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["summary"]["cache_hits"] == 3
+        assert payload["report"]["dataset_households"] == 96
+        assert len(payload["shards"]) == 3
+
+    def test_resume_without_manifest_exits_2(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--cache-dir", str(tmp_path), "--resume"]) == 2
+        assert "no readable manifest" in capsys.readouterr().err
+
+    def test_resume_without_cache_dir_exits_2(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "cache" in capsys.readouterr().err
+
+    def test_invalid_fault_plan_exits_2(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"shards": {"fail_rate": 7}}', encoding="utf-8")
+        assert main(self.ARGS + ["--fault-plan", str(plan)]) == 2
+        err = capsys.readouterr().err
+        assert "--fault-plan" in err and "out of [0, 1]" in err
+
+    def test_fail_fast_shard_failure_exits_1(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"shards": {"fail": [1]}}', encoding="utf-8")
+        assert main(self.ARGS + ["--fault-plan", str(plan), "--fail-fast"]) == 1
+        assert "shard 1" in capsys.readouterr().err
+
+    def test_keep_going_shard_failure_partial_report(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"shards": {"fail": [1]}}', encoding="utf-8")
+        assert main(self.ARGS + ["--fault-plan", str(plan)]) == 0
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert "shard 1" in captured.err
+
+    def test_metrics_out_includes_fleet_counters(self, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "m.json"
+        assert main(self.ARGS + ["--cache-dir", str(tmp_path / "c"),
+                                 "--metrics-out", str(metrics_path)]) == 0
+        metrics = json.loads(metrics_path.read_text())
+        shard_states = {
+            tuple(sorted(sample["labels"].items())): sample["value"]
+            for sample in metrics["fleet_shards_total"]["samples"]
+        }
+        assert shard_states[(("state", "completed"),)] == 3
+        assert "fleet_cache_writes_total" in metrics
+
+    def test_bad_json_path_fails_before_run(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-dir" / "fleet.json"
+        assert main(["fleet", "--json", str(missing)]) == 2
+        assert "--json" in capsys.readouterr().err

@@ -1,0 +1,44 @@
+"""Docs-consistency gate: CLI coverage + markdown link integrity.
+
+Thin wrapper over ``tools/check_docs.py`` so the gate runs inside the
+normal test suite as well as standalone in CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+CHECKER = Path(__file__).resolve().parent.parent / "tools" / "check_docs.py"
+
+spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+check_docs = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_docs", check_docs)
+spec.loader.exec_module(check_docs)
+
+
+def test_every_cli_flag_is_documented():
+    assert check_docs.check_cli_docs() == []
+
+
+def test_every_markdown_link_resolves():
+    assert check_docs.check_links() == []
+
+
+def test_checker_reports_undocumented_flags(monkeypatch):
+    """The gate must actually bite: strip a flag from the doc text and
+    the checker has to flag it."""
+    text = check_docs.CLI_DOC.read_text(encoding="utf-8")
+
+    class FakeDoc:
+        def exists(self):
+            return True
+
+        def read_text(self, encoding=None):
+            return text.replace("--cache-dir", "")
+
+        def relative_to(self, root):
+            return Path("docs/cli.md")
+
+    monkeypatch.setattr(check_docs, "CLI_DOC", FakeDoc())
+    issues = check_docs.check_cli_docs()
+    assert any("--cache-dir" in issue for issue in issues)

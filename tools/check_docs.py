@@ -1,0 +1,113 @@
+"""Docs-consistency checker (the CI `docs-check` gate).
+
+Two properties keep the documentation honest:
+
+1. **CLI coverage** — every subcommand `build_parser()` registers, and
+   every option string of every subcommand, appears literally in
+   ``docs/cli.md``.  Adding a flag without documenting it fails CI.
+2. **Link integrity** — every relative markdown link in ``README.md``
+   and ``docs/*.md`` resolves to an existing file (anchors stripped).
+
+Run standalone (exit 1 on any issue, listing all of them)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+or via the thin pytest wrapper ``tests/test_docs_consistency.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CLI_DOC = REPO_ROOT / "docs" / "cli.md"
+
+#: Markdown docs whose relative links must resolve.
+LINKED_DOCS = ("README.md", "docs/*.md")
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _subcommand_parsers(parser: argparse.ArgumentParser):
+    """(name, subparser) pairs for every registered subcommand."""
+    for action in parser._actions:  # noqa: SLF001 - argparse has no public walk
+        if isinstance(action, argparse._SubParsersAction):  # noqa: SLF001
+            # .choices maps every alias; dedupe by parser identity.
+            seen = set()
+            for name, sub in action.choices.items():
+                if id(sub) not in seen:
+                    seen.add(id(sub))
+                    yield name, sub
+
+
+def check_cli_docs() -> List[str]:
+    """Every subcommand + flag in ``build_parser()`` is in docs/cli.md."""
+    from repro.cli import build_parser
+
+    issues: List[str] = []
+    if not CLI_DOC.exists():
+        return [f"{CLI_DOC.relative_to(REPO_ROOT)}: missing"]
+    text = CLI_DOC.read_text(encoding="utf-8")
+    doc = CLI_DOC.relative_to(REPO_ROOT)
+
+    for name, sub in _subcommand_parsers(build_parser()):
+        if f"repro {name}" not in text:
+            issues.append(f"{doc}: subcommand 'repro {name}' is undocumented")
+        for action in sub._actions:  # noqa: SLF001
+            if isinstance(action, argparse._HelpAction):  # noqa: SLF001
+                continue
+            if action.option_strings:
+                for option in action.option_strings:
+                    if option not in text:
+                        issues.append(
+                            f"{doc}: 'repro {name}' flag {option} is undocumented")
+            elif action.dest != "command" and f"`{action.dest}`" not in text:
+                issues.append(
+                    f"{doc}: 'repro {name}' positional '{action.dest}' "
+                    "is undocumented")
+    return issues
+
+
+def check_links() -> List[str]:
+    """Every relative markdown link resolves to an existing file."""
+    issues: List[str] = []
+    docs: List[Path] = []
+    for pattern in LINKED_DOCS:
+        docs.extend(sorted(REPO_ROOT.glob(pattern)))
+    for doc in docs:
+        text = doc.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                issues.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link '{target}'")
+    return issues
+
+
+def run_checks() -> List[str]:
+    return check_cli_docs() + check_links()
+
+
+def main() -> int:
+    issues = run_checks()
+    for issue in issues:
+        print(issue, file=sys.stderr)
+    if issues:
+        print(f"docs-check: {len(issues)} issue(s)", file=sys.stderr)
+        return 1
+    print("docs-check: CLI coverage and link integrity OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
