@@ -120,5 +120,13 @@ def inspector_dataset():
 
 
 def pytest_benchmark_update_json(config, benchmarks, output_json):
-    """Attach per-stage wall-clock timings to the benchmark JSON."""
+    """Attach stage timings and the environment fingerprint to the JSON.
+
+    The fingerprint is the same one ``tools/bench_record.py`` stamps
+    into ``BENCH_*.json`` entries, so pytest-benchmark reports and
+    trajectory entries are joinable on identical machine/code state.
+    """
+    from repro.obs.bench import env_fingerprint
+
     output_json["stage_timings"] = dict(sorted(STAGE_TIMINGS.items()))
+    output_json["env_fingerprint"] = env_fingerprint()

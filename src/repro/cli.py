@@ -3,7 +3,8 @@
 Installed as the ``repro`` console script::
 
     repro study        [--seed N] [--duration SECONDS] [--apps N]
-                       [--metrics-out PATH] [--trace-out PATH] [--log-level LEVEL]
+                       [--metrics-out PATH] [--trace-out PATH] [--events-out PATH]
+                       [--log-level LEVEL]
                        [--fault-plan PATH] [--keep-going | --fail-fast]
     repro classify     PCAP [--crossval]
     repro scan         [--seed N]
@@ -13,6 +14,7 @@ Installed as the ``repro`` console script::
     repro fleet        [--households N] [--workers W] [--shard-size N]
                        [--cache-dir PATH] [--resume] [--json PATH]
                        [--fault-plan PATH] [--keep-going | --fail-fast]
+                       [--events-out PATH] [--progress | --no-progress]
 
 ``repro classify`` works on *any* classic-pcap file (including captures
 from a real network), making the classifier pair usable outside the
@@ -28,28 +30,49 @@ import sys
 from typing import List, Optional
 
 
+def _progress_wanted(args: argparse.Namespace) -> bool:
+    """Whether the in-terminal progress line should render.
+
+    Explicit ``--progress``/``--no-progress`` win; the default is on
+    exactly when stderr is a terminal and the event stream is not
+    already targeting it (``--events-out -``).
+    """
+    forced = getattr(args, "progress", None)
+    if forced is not None:
+        return forced
+    if getattr(args, "events_out", None) == "-":
+        return False
+    return sys.stderr.isatty()
+
+
 def _build_observability(args: argparse.Namespace):
     """A live observability context when any ``--metrics-out`` /
-    ``--trace-out`` / ``--log-level`` flag was given, else the null one."""
-    from repro.obs import NULL_OBS, enable_observability
+    ``--trace-out`` / ``--events-out`` / ``--log-level`` flag was given
+    (or a progress line needs the event bus), else the null one."""
+    from repro.obs import NULL_OBS, enable_observability, open_event_stream
 
+    events_out = getattr(args, "events_out", None)
+    # Only subcommands that define --progress (fleet) can want the bus
+    # for the progress line alone.
+    progress = "progress" in vars(args) and _progress_wanted(args)
     wanted = getattr(args, "metrics_out", None) or getattr(args, "trace_out", None) \
-        or getattr(args, "log_level", None)
+        or getattr(args, "log_level", None) or events_out or progress
     if not wanted:
         return NULL_OBS
-    return enable_observability(log_level=args.log_level)
+    events = open_event_stream(events_out) if (events_out or progress) else None
+    return enable_observability(log_level=args.log_level, events=events)
 
 
 def _check_output_paths(args: argparse.Namespace) -> Optional[str]:
     """Validate telemetry output paths *before* the (long) run starts.
 
-    Returns an error message, or ``None`` when both paths are writable.
+    Returns an error message, or ``None`` when every path is writable.
     """
     import os
 
-    for flag in ("metrics_out", "trace_out", "json"):
+    for flag in ("metrics_out", "trace_out", "events_out", "json"):
         path = getattr(args, flag, None)
-        if not path:
+        if not path or path == "-":
             continue
         parent = os.path.dirname(os.path.abspath(path))
         if not os.path.isdir(parent):
@@ -60,6 +83,9 @@ def _check_output_paths(args: argparse.Namespace) -> Optional[str]:
 
 
 def _write_observability_outputs(obs, args: argparse.Namespace) -> None:
+    """Finalize telemetry outputs — called from ``finally`` blocks so
+    metrics/traces/events land on disk even when the run exits nonzero
+    (partial failures are exactly when telemetry matters most)."""
     import json
 
     if getattr(args, "metrics_out", None):
@@ -69,6 +95,50 @@ def _write_observability_outputs(obs, args: argparse.Namespace) -> None:
     if getattr(args, "trace_out", None):
         obs.tracer.write_chrome_trace(args.trace_out)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+    events_out = getattr(args, "events_out", None)
+    obs.events.close()
+    if events_out and events_out != "-":
+        print(f"events written to {events_out}", file=sys.stderr)
+
+
+class _FleetProgress:
+    """The minimal in-terminal progress line, driven by shard events.
+
+    Subscribes to the run's :class:`~repro.obs.events.EventBus`; every
+    shard lifecycle record that carries tallies redraws one
+    carriage-return line on stderr.
+    """
+
+    TERMINAL = ("shard_done", "shard_cached", "shard_failed")
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.active = False
+
+    def __call__(self, record) -> None:
+        if record.get("event") not in self.TERMINAL or "total" not in record:
+            return
+        done = record.get("done", 0) + record.get("cached", 0) \
+            + record.get("failed", 0)
+        line = (f"fleet: {done}/{record['total']} shards "
+                f"({record.get('cached', 0)} cached, "
+                f"{record.get('failed', 0)} failed)")
+        try:
+            self.stream.write("\r" + line.ljust(60))
+            self.stream.flush()
+        except (OSError, ValueError):
+            return
+        self.active = True
+
+    def finish(self) -> None:
+        """Terminate the progress line so later output starts clean."""
+        if self.active:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+            self.active = False
 
 
 def _load_fault_plan(path: Optional[str]):
@@ -114,7 +184,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         keep_going=not args.fail_fast,
     )
-    report = pipeline.run()
+    try:
+        report = pipeline.run()
+    except Exception as error:
+        # Fail-fast runs re-raise the first analysis failure; flush the
+        # telemetry collected so far — a crashed run is exactly when the
+        # metrics/trace/events are needed — then report the failure.
+        _write_observability_outputs(obs, args)
+        print(f"repro study: error: {type(error).__name__}: {error}",
+              file=sys.stderr)
+        return 1
     _write_observability_outputs(obs, args)
     rows = []
     if report.device_graph is not None:
@@ -321,14 +400,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except (FleetConfigError, ValueError) as error:
         print(f"repro fleet: error: {error}", file=sys.stderr)
         return 2
+    progress = None
+    if _progress_wanted(args) and obs.events.enabled:
+        progress = _FleetProgress()
+        obs.events.subscribe(progress)
     try:
         result = runner.run()
-    except FleetConfigError as error:
-        print(f"repro fleet: error: {error}", file=sys.stderr)
-        return 2
     except FleetError as error:
+        # Telemetry still lands on disk on the failure paths: a fleet
+        # run that died mid-flight is the one you want to inspect.
+        code = 2 if isinstance(error, FleetConfigError) else 1
+        if progress is not None:
+            progress.finish()
+        _write_observability_outputs(obs, args)
         print(f"repro fleet: error: {error}", file=sys.stderr)
-        return 1
+        return code
+    if progress is not None:
+        progress.finish()
     _write_observability_outputs(obs, args)
 
     if result.report is not None:
@@ -396,6 +484,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSON metrics snapshot after the run")
     study.add_argument("--trace-out", metavar="PATH", default=None,
                        help="write a Chrome trace_event file (chrome://tracing)")
+    study.add_argument("--events-out", metavar="PATH", default=None,
+                       help="stream NDJSON progress events to PATH "
+                            "('-' streams to stderr; see docs/observability.md)")
     study.add_argument("--log-level", default=None,
                        choices=["debug", "info", "warning", "error"],
                        help="enable structured logging at this level "
@@ -479,9 +570,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSON metrics snapshot after the run")
     fleet.add_argument("--trace-out", metavar="PATH", default=None,
                        help="write a Chrome trace_event file (chrome://tracing)")
+    fleet.add_argument("--events-out", metavar="PATH", default=None,
+                       help="stream NDJSON shard-lifecycle events to PATH "
+                            "('-' streams to stderr; see docs/observability.md)")
     fleet.add_argument("--log-level", default=None,
                        choices=["debug", "info", "warning", "error"],
                        help="enable structured logging at this level")
+    progress_group = fleet.add_mutually_exclusive_group()
+    progress_group.add_argument("--progress", dest="progress",
+                                action="store_true", default=None,
+                                help="force the in-terminal shard progress "
+                                     "line (default: only on a TTY)")
+    progress_group.add_argument("--no-progress", dest="progress",
+                                action="store_false",
+                                help="suppress the shard progress line")
     fleet.set_defaults(func=_cmd_fleet, fail_fast=False)
     return parser
 

@@ -158,7 +158,20 @@ class StudyPipeline:
     def collect_passive(self) -> int:
         """Run the lab for the configured duration; returns packet count."""
         assert self.testbed is not None, "call build() first"
-        self.testbed.run(self.passive_duration)
+        events = self.obs.events
+        if events.enabled:
+            capture = self.testbed.lan.capture
+
+            def beat(executed: int, sim_now: float) -> None:
+                events.heartbeat(kind="study", stage="passive_capture",
+                                 sim_seconds=round(sim_now, 3),
+                                 sim_events=executed,
+                                 packets=capture.packet_count)
+
+            self.testbed.run(self.passive_duration, on_event=beat,
+                             on_event_every=2000)
+        else:
+            self.testbed.run(self.passive_duration)
         return self.testbed.lan.capture.packet_count
 
     def device_maps(self) -> Dict[str, Dict[str, str]]:
@@ -219,12 +232,18 @@ class StudyPipeline:
             return None
         span = stack.enter_context(obs.tracer.span(f"pipeline.{name}", stage=name))
         started = time.perf_counter()
-        stack.callback(
-            lambda: obs.metrics.histogram(
+
+        def close_stage() -> None:
+            elapsed = time.perf_counter() - started
+            obs.metrics.histogram(
                 "pipeline_stage_seconds", "wall-clock duration per pipeline stage",
-            ).observe(time.perf_counter() - started, stage=name)
-        )
+            ).observe(elapsed, stage=name)
+            obs.events.emit("stage_end", kind="study", stage=name,
+                            wall_seconds=round(elapsed, 6))
+
+        stack.callback(close_stage)
         obs.logger("pipeline").info("stage_start", stage=name)
+        obs.events.emit("stage_start", kind="study", stage=name)
         return span
 
     def _count_artifact(self, name: str, amount: float = 1.0) -> None:
@@ -345,6 +364,8 @@ class StudyPipeline:
                 obs.logger("pipeline").error(
                     "analysis_failed", analysis=name,
                     error=failures[-1].error)
+                obs.events.emit("analysis_failed", kind="study",
+                                analysis=name, error=failures[-1].error)
         if errors and not self.keep_going:
             raise next(iter(errors.values()))
         return results, failures
@@ -365,6 +386,9 @@ class StudyPipeline:
             if obs.enabled:
                 run_span = root.enter_context(
                     obs.tracer.span("pipeline.run", seed=self.seed))
+            obs.events.emit("run_start", kind="study", seed=self.seed,
+                            duration=self.passive_duration,
+                            apps=self.app_sample_size)
             with ExitStack() as stack:
                 self._stage(stack, "build")
                 self.build()
@@ -449,4 +473,8 @@ class StudyPipeline:
                 "run_complete", packets=report.capture_packets,
                 honeypot_contacts=report.honeypot_contacts,
                 failed_analyses=len(report.failures))
+        obs.events.emit("run_end", kind="study",
+                        packets=report.capture_packets,
+                        failed_analyses=len(report.failures),
+                        complete=report.complete)
         return report

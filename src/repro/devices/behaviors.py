@@ -583,8 +583,16 @@ class Testbed:
     def devices_of_vendor(self, vendor: str) -> List[DeviceNode]:
         return [node for node in self.devices if node.vendor == vendor]
 
-    def run(self, duration: float) -> int:
-        return self.simulator.run(until=self.simulator.now + duration)
+    def run(self, duration: float, on_event=None, on_event_every: int = 1000) -> int:
+        """Advance the lab ``duration`` simulated seconds.
+
+        ``on_event``/``on_event_every`` pass straight through to
+        :meth:`Simulator.run` — the liveness hook long campaigns use to
+        emit heartbeats (see ``repro.obs.events``).
+        """
+        return self.simulator.run(until=self.simulator.now + duration,
+                                  on_event=on_event,
+                                  on_event_every=on_event_every)
 
 
 def build_testbed(

@@ -101,6 +101,10 @@ class FaultInjector:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         if self._obs.enabled:
             self._faults_total.inc(kind=kind)
+        if self._obs.events.enabled:
+            sim_now = self.lan.simulator.now if self.lan is not None else None
+            self._obs.events.emit("fault_injected", kind=kind,
+                                  total=self.counts[kind], sim_now=sim_now)
 
     def summary(self) -> Dict[str, object]:
         """What this run injected — attached to ``StudyReport.fault_summary``."""

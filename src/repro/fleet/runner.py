@@ -42,7 +42,7 @@ from repro.fleet.merge import merge_shard_results
 from repro.fleet.shard import run_shard
 from repro.fleet.spec import FleetSpec, ShardRange, code_version, default_workers, shard_key
 from repro.inspector.generate import derive_rng
-from repro.obs import Observability, get_obs
+from repro.obs import Observability, ObsSnapshot, ObsSnapshotError, get_obs
 
 MANIFEST_NAME = "manifest.json"
 
@@ -256,6 +256,38 @@ class FleetRunner:
                 "fleet_shard_seconds", "worker-measured seconds per computed shard",
             ).observe(state.seconds)
 
+    def _absorb_snapshots(self, run_span,
+                          results: Dict[int, dict],
+                          states: Dict[int, ShardState]) -> None:
+        """Merge every shard's ``ObsSnapshot`` into the parent context.
+
+        Applied in **shard-index order** (not completion order) so the
+        merged registry is byte-identical at any worker count; shards
+        served from the cache replay their stored snapshot with the
+        ``from_cache="true"`` label on every sample and a
+        ``from_cache`` attr on their absorbed spans.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        for index in sorted(results):
+            raw = results[index].get("obs")
+            if raw is None:
+                continue  # pre-snapshot cache entry or foreign payload
+            try:
+                snapshot = ObsSnapshot.from_dict(raw)
+            except ObsSnapshotError as error:
+                obs.logger("fleet").warning(
+                    "snapshot_rejected", shard=index, error=str(error))
+                continue
+            cached = states[index].state == "cached"
+            snapshot.apply(
+                obs,
+                extra_labels={"from_cache": "true"} if cached else None,
+                span_parent=run_span,
+                span_attrs={"shard": index, "from_cache": str(cached).lower()},
+            )
+
     def _record_cache_metrics(self) -> None:
         obs = self.obs
         if not obs.enabled or self.cache is None:
@@ -284,6 +316,22 @@ class FleetRunner:
         results: Dict[int, dict] = {}
         failures: List[ShardFailure] = []
         logger = obs.logger("fleet")
+        events = obs.events
+        events.emit("run_start", kind="fleet", seed=self.spec.seed,
+                    households=self.spec.households, shards=len(shards),
+                    workers=self.workers, resumed=resumed)
+
+        def progress() -> Dict[str, int]:
+            tally = {"done": 0, "cached": 0, "failed": 0}
+            for state in states.values():
+                if state.state == "completed":
+                    tally["done"] += 1
+                elif state.state == "cached":
+                    tally["cached"] += 1
+                else:
+                    tally["failed"] += 1
+            tally["total"] = len(shards)
+            return tally
 
         with ExitStack() as stack:
             run_span = None
@@ -311,8 +359,12 @@ class FleetRunner:
                         state="cached", key=key,
                         seconds=float(payload.get("seconds", 0.0)))
                     self._record_shard(run_span, states[shard.index])
+                    events.emit("shard_cached", shard=shard.index,
+                                start=shard.start, stop=shard.stop, **progress())
                 else:
                     pending.append(shard)
+                    events.emit("shard_queued", shard=shard.index,
+                                start=shard.start, stop=shard.stop)
             if obs.enabled and self.cache is not None:
                 logger.info("cache_scan", hits=self.cache.hits,
                             misses=self.cache.misses)
@@ -334,6 +386,9 @@ class FleetRunner:
                     if obs.enabled:
                         logger.error("shard_failed", shard=shard.index,
                                      error=failures[-1].error)
+                    events.emit("shard_failed", shard=shard.index,
+                                start=shard.start, stop=shard.stop,
+                                error=failures[-1].error, **progress())
                 else:
                     results[shard.index] = payload
                     if self.cache is not None:
@@ -342,11 +397,17 @@ class FleetRunner:
                         index=shard.index, start=shard.start, stop=shard.stop,
                         state="completed", key=key,
                         seconds=float(payload.get("seconds", 0.0)))
+                    events.emit("shard_done", shard=shard.index,
+                                start=shard.start, stop=shard.stop,
+                                seconds=states[shard.index].seconds, **progress())
                 self._record_shard(run_span, states[shard.index])
                 self._write_manifest(states)
+                events.heartbeat(kind="fleet", **progress())
 
             if self.workers == 1 or len(pending) <= 1:
                 for shard in pending:
+                    events.emit("shard_running", shard=shard.index,
+                                start=shard.start, stop=shard.stop)
                     try:
                         payload = run_shard(spec_dict, shard.start, shard.stop,
                                             inject_failure=shard.index in doomed)
@@ -357,11 +418,13 @@ class FleetRunner:
             elif pending:
                 with ProcessPoolExecutor(max_workers=min(self.workers,
                                                          len(pending))) as pool:
-                    futures = {
-                        pool.submit(run_shard, spec_dict, shard.start, shard.stop,
-                                    shard.index in doomed): shard
-                        for shard in pending
-                    }
+                    futures = {}
+                    for shard in pending:
+                        futures[pool.submit(
+                            run_shard, spec_dict, shard.start, shard.stop,
+                            shard.index in doomed)] = shard
+                        events.emit("shard_running", shard=shard.index,
+                                    start=shard.start, stop=shard.stop)
                     remaining = set(futures)
                     while remaining:
                         done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
@@ -375,6 +438,9 @@ class FleetRunner:
                                 finish(shard, payload, None)
 
             self._record_cache_metrics()
+            # Fold worker telemetry into this context in shard order,
+            # so the merged registry is independent of completion order.
+            self._absorb_snapshots(run_span, results, states)
 
             # Phase 3: merge in household order.
             report: Optional[FingerprintReport] = None
@@ -389,6 +455,8 @@ class FleetRunner:
 
             if failures and not self.keep_going:
                 first = failures[0]
+                events.emit("run_end", kind="fleet", shards=len(shards),
+                            failed=len(failures), complete=False)
                 raise FleetError(
                     f"shard {first.shard} (households [{first.start}, "
                     f"{first.stop})) failed: {first.error}")
@@ -412,6 +480,10 @@ class FleetRunner:
                 logger.info("run_complete", shards=result.shards_total,
                             failed=len(failures), cache_hits=result.cache_hits,
                             wall_seconds=result.wall_seconds)
+            events.emit("run_end", kind="fleet", shards=result.shards_total,
+                        failed=len(failures), cache_hits=result.cache_hits,
+                        wall_seconds=round(result.wall_seconds, 6),
+                        complete=result.complete)
             return result
 
 

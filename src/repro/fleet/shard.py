@@ -9,7 +9,14 @@ its output can land in the content-addressed cache verbatim.
 The result carries everything the merge needs and nothing else: the
 serialized :class:`~repro.inspector.entropy.EntropyAnalysis` partial
 plus the per-household device counts and vendor/product tallies that
-feed the report's context statistics.
+feed the report's context statistics — and, under the ``"obs"`` key,
+the worker's own telemetry as an
+:class:`~repro.obs.snapshot.ObsSnapshot` (metrics + spans), so a
+multi-process fleet run loses nothing to the process boundary.  The
+worker registry holds only deterministic counters/gauges (household,
+device, vendor tallies); wall-clock timings live in span attrs and the
+shard-level ``seconds`` field, keeping the parent's merged counter set
+byte-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from typing import Dict, List
 from repro.inspector.entropy import analyze_dataset
 from repro.inspector.generate import build_context, generate_households
 from repro.inspector.schema import InspectorDataset
+from repro.obs import MetricsRegistry, Observability, ObsSnapshot, Tracer, use_obs
+from repro.obs.logging import NullLogManager
 
 
 class ShardFaultInjected(RuntimeError):
@@ -42,25 +51,41 @@ def run_shard(
         raise ShardFaultInjected(
             f"fault plan killed shard covering households [{start}, {stop})")
     started = time.perf_counter()
-    context = build_context(
-        seed=int(spec_dict["seed"]),
-        households=int(spec_dict["households"]),
-        target_devices=int(spec_dict["target_devices"]),
-        vendor_count=int(spec_dict["vendor_count"]),
-        product_count=int(spec_dict["product_count"]),
-    )
-    households = generate_households(context, start, stop)
-    dataset = InspectorDataset(households=households)
-    analysis = analyze_dataset(dataset, validate_oui=bool(spec_dict["validate_oui"]))
+    obs = Observability(metrics=MetricsRegistry(), tracer=Tracer(),
+                        logs=NullLogManager(), enabled=True)
+    with use_obs(obs), obs.tracer.span("fleet.worker", start=start, stop=stop):
+        with obs.tracer.span("worker.generate"):
+            context = build_context(
+                seed=int(spec_dict["seed"]),
+                households=int(spec_dict["households"]),
+                target_devices=int(spec_dict["target_devices"]),
+                vendor_count=int(spec_dict["vendor_count"]),
+                product_count=int(spec_dict["product_count"]),
+            )
+            households = generate_households(context, start, stop)
+            dataset = InspectorDataset(households=households)
+        with obs.tracer.span("worker.analyze"):
+            analysis = analyze_dataset(
+                dataset, validate_oui=bool(spec_dict["validate_oui"]))
 
-    vendor_counts: Dict[str, int] = {}
-    product_counts: Dict[str, int] = {}
-    device_counts: List[int] = []
-    for household in households:
-        device_counts.append(household.device_count)
-        for device in household.devices:
-            vendor_counts[device.truth_vendor] = vendor_counts.get(device.truth_vendor, 0) + 1
-            product_counts[device.truth_product] = product_counts.get(device.truth_product, 0) + 1
+        vendor_counts: Dict[str, int] = {}
+        product_counts: Dict[str, int] = {}
+        device_counts: List[int] = []
+        for household in households:
+            device_counts.append(household.device_count)
+            for device in household.devices:
+                vendor_counts[device.truth_vendor] = vendor_counts.get(device.truth_vendor, 0) + 1
+                product_counts[device.truth_product] = product_counts.get(device.truth_product, 0) + 1
+
+        metrics = obs.metrics
+        metrics.counter(
+            "fleet_worker_households_total",
+            "households generated and analyzed by fleet workers",
+        ).inc(len(households))
+        metrics.counter(
+            "fleet_worker_devices_total",
+            "devices generated and analyzed by fleet workers",
+        ).inc(dataset.device_count)
 
     return {
         "start": start,
@@ -71,4 +96,5 @@ def run_shard(
         "product_counts": product_counts,
         "analysis": analysis.to_dict(),
         "seconds": time.perf_counter() - started,
+        "obs": ObsSnapshot.capture(obs).to_dict(),
     }

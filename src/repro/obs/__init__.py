@@ -23,6 +23,13 @@ from repro.obs.context import (
     set_obs,
     use_obs,
 )
+from repro.obs.events import (
+    NULL_EVENT_BUS,
+    EventBus,
+    NullEventBus,
+    open_event_stream,
+    process_stats,
+)
 from repro.obs.instrument import counted, timed
 from repro.obs.logging import LogManager, NullLogger, StructuredLogger
 from repro.obs.metrics import (
@@ -33,9 +40,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     parse_prometheus_text,
 )
+from repro.obs.snapshot import ObsSnapshot, ObsSnapshotError
 from repro.obs.tracing import NullTracer, Span, Tracer
 
 __all__ = [
+    "NULL_EVENT_BUS",
+    "EventBus",
+    "NullEventBus",
+    "ObsSnapshot",
+    "ObsSnapshotError",
+    "open_event_stream",
+    "process_stats",
     "NULL_OBS",
     "NullMetricsRegistry",
     "Observability",

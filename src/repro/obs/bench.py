@@ -1,0 +1,234 @@
+"""Perf-trajectory recording: ``BENCH_*.json`` files at the repo root.
+
+ROADMAP calls for "recording results to BENCH_fleet.json so the perf
+trajectory becomes visible across PRs".  This module is that record: a
+:class:`BenchTrajectory` is an append-only JSON file of benchmark
+entries, each stamped with the date (passed in — workflow-style code
+never reads the wall clock itself) and an **environment fingerprint**
+(Python version, CPU count, the fleet ``code_version()`` source
+digest), so entries from different machines or code states are never
+compared as if they were the same experiment.
+
+Regression checking (:func:`check_regression`,
+``tools/check_bench_regression.py``) compares the newest entry against
+the *median* of earlier entries with the **same fingerprint** under a
+tolerance — medians shrug off one noisy CI run, and fingerprint
+matching keeps a laptop's numbers from failing a container.  With no
+comparable history the check passes with a note: the first entry on any
+machine only seeds the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+#: Bump when the trajectory file layout changes shape.
+SCHEMA_VERSION = 1
+
+#: Allowed relative slowdown before the regression gate fails (25%).
+DEFAULT_TOLERANCE = 0.25
+
+
+def env_fingerprint() -> Dict[str, object]:
+    """What kind of machine/code produced a benchmark number.
+
+    Two entries are comparable exactly when their fingerprints are
+    equal.  The ``code_version`` component is the fleet's source digest
+    — editing the generator/analysis invalidates old numbers the same
+    way it invalidates cached shards.
+    """
+    from repro.fleet.spec import code_version
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "code_version": code_version(),
+    }
+
+
+@dataclass
+class BenchEntry:
+    """One recorded benchmark run."""
+
+    date: str  # ISO date, supplied by the caller
+    fingerprint: Dict[str, object]
+    metrics: Dict[str, float]
+    notes: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "date": self.date,
+            "fingerprint": self.fingerprint,
+            "metrics": self.metrics,
+        }
+        if self.notes:
+            out["notes"] = self.notes
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "BenchEntry":
+        return cls(
+            date=str(raw.get("date", "")),
+            fingerprint=dict(raw.get("fingerprint", {})),
+            metrics={k: float(v) for k, v in dict(raw.get("metrics", {})).items()},
+            notes=str(raw.get("notes", "")),
+        )
+
+
+@dataclass
+class BenchTrajectory:
+    """An append-only series of :class:`BenchEntry` for one benchmark.
+
+    ``primary_metric`` names the entry metric the regression gate
+    watches; ``higher_is_better`` orients the comparison (throughput
+    vs latency).
+    """
+
+    name: str
+    primary_metric: str
+    higher_is_better: bool = True
+    entries: List[BenchEntry] = field(default_factory=list)
+    path: Optional[Path] = None
+
+    @classmethod
+    def load(cls, path, name: str = "", primary_metric: str = "",
+             higher_is_better: bool = True) -> "BenchTrajectory":
+        """Read a trajectory file; a missing file yields an empty one."""
+        path = Path(path)
+        if not path.exists():
+            return cls(name=name or path.stem, primary_metric=primary_metric,
+                       higher_is_better=higher_is_better, path=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        if not isinstance(raw, dict) or raw.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: not a schema-{SCHEMA_VERSION} bench trajectory")
+        return cls(
+            name=str(raw.get("name", name or path.stem)),
+            primary_metric=str(raw.get("primary_metric", primary_metric)),
+            higher_is_better=bool(raw.get("higher_is_better", higher_is_better)),
+            entries=[BenchEntry.from_dict(entry)
+                     for entry in raw.get("entries", [])],
+            path=path,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "primary_metric": self.primary_metric,
+            "higher_is_better": self.higher_is_better,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def append(self, entry: BenchEntry) -> None:
+        self.entries.append(entry)
+
+    def save(self, path=None) -> Path:
+        """Atomically write the trajectory (temp file + ``os.replace``)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path to save the trajectory to")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(target.parent),
+                                   prefix=f".tmp-{target.stem}-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.path = target
+        return target
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def latest(self) -> Optional[BenchEntry]:
+        return self.entries[-1] if self.entries else None
+
+    def comparable_history(self, entry: BenchEntry) -> List[BenchEntry]:
+        """Earlier entries whose fingerprint matches ``entry``'s."""
+        history = [previous for previous in self.entries
+                   if previous is not entry
+                   and previous.fingerprint == entry.fingerprint]
+        return history
+
+    def baseline_median(self, entry: BenchEntry) -> Optional[float]:
+        """Median primary-metric value of ``entry``'s comparable history."""
+        values = [previous.metrics[self.primary_metric]
+                  for previous in self.comparable_history(entry)
+                  if self.primary_metric in previous.metrics]
+        return statistics.median(values) if values else None
+
+
+@dataclass
+class RegressionVerdict:
+    """The gate's decision for one trajectory."""
+
+    name: str
+    ok: bool
+    detail: str
+    latest: Optional[float] = None
+    baseline: Optional[float] = None
+
+
+def check_regression(trajectory: BenchTrajectory,
+                     tolerance: float = DEFAULT_TOLERANCE) -> RegressionVerdict:
+    """Newest entry vs same-fingerprint trajectory median, under tolerance.
+
+    * No entries → fail (an empty trajectory means the recorder never
+      ran — the gate would otherwise pass vacuously forever).
+    * No comparable history (first run on this machine/code) → pass,
+      noting the entry only seeds the trajectory.
+    * Otherwise fail when the primary metric regressed by more than
+      ``tolerance`` relative to the median (direction per
+      ``higher_is_better``).
+    """
+    entry = trajectory.latest
+    if entry is None:
+        return RegressionVerdict(
+            name=trajectory.name, ok=False,
+            detail="trajectory has no entries (recorder never ran)")
+    value = entry.metrics.get(trajectory.primary_metric)
+    if value is None:
+        return RegressionVerdict(
+            name=trajectory.name, ok=False,
+            detail=f"latest entry lacks metric {trajectory.primary_metric!r}")
+    baseline = trajectory.baseline_median(entry)
+    if baseline is None:
+        return RegressionVerdict(
+            name=trajectory.name, ok=True, latest=value,
+            detail="no comparable history for this fingerprint; entry seeds "
+                   "the trajectory")
+    if trajectory.higher_is_better:
+        limit = baseline * (1.0 - tolerance)
+        regressed = value < limit
+    else:
+        limit = baseline * (1.0 + tolerance)
+        regressed = value > limit
+    direction = "below" if trajectory.higher_is_better else "above"
+    detail = (f"{trajectory.primary_metric}={value:.4g} vs median "
+              f"{baseline:.4g} (limit {limit:.4g}, {tolerance:.0%} tolerance, "
+              f"{len(trajectory.comparable_history(entry))} comparable entries)")
+    if regressed:
+        return RegressionVerdict(
+            name=trajectory.name, ok=False, latest=value, baseline=baseline,
+            detail=f"REGRESSION: {detail} — {direction} the limit")
+    return RegressionVerdict(name=trajectory.name, ok=True, latest=value,
+                             baseline=baseline, detail=detail)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional, Union
 
+from repro.obs.events import NULL_EVENT_BUS, EventBus, NullEventBus
 from repro.obs.logging import LogManager, NullLogManager
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracing import NullTracer, Tracer
@@ -63,6 +64,9 @@ class NullMetricsRegistry(MetricsRegistry):
     def scoped(self, prefix: str) -> "NullMetricsRegistry":
         return self
 
+    def merge(self, other, extra_labels=None) -> "NullMetricsRegistry":
+        return self
+
     def to_dict(self):
         return {}
 
@@ -76,11 +80,15 @@ class Observability:
         tracer: Union[Tracer, NullTracer],
         logs: Union[LogManager, NullLogManager],
         enabled: bool = True,
+        events: Union[EventBus, NullEventBus] = NULL_EVENT_BUS,
     ):
         self.metrics = metrics
         self.tracer = tracer
         self.logs = logs
         self.enabled = enabled
+        #: The live event stream (``NULL_EVENT_BUS`` unless installed);
+        #: see :mod:`repro.obs.events`.
+        self.events = events
 
     def logger(self, subsystem: str):
         return self.logs.logger(subsystem)
@@ -132,12 +140,16 @@ def enable_observability(
     log_format: str = "kv",
     log_stream=None,
     install: bool = False,
+    events: Optional[Union[EventBus, NullEventBus]] = None,
 ) -> Observability:
     """Build a live context (real registry, tracer, env-configured logs).
 
     With ``install=True`` the context also becomes the process-global
     one, so code that reads :func:`get_obs` at construction time — the
-    ``Simulator``, the ``Lan`` — starts reporting immediately.
+    ``Simulator``, the ``Lan`` — starts reporting immediately.  Pass an
+    :class:`~repro.obs.events.EventBus` as ``events`` (e.g. from
+    :func:`~repro.obs.events.open_event_stream`) to attach the live
+    NDJSON event stream.
     """
     obs = Observability(
         metrics=MetricsRegistry(),
@@ -145,6 +157,7 @@ def enable_observability(
         logs=LogManager.from_env(default_level=log_level, fmt=log_format,
                                  stream=log_stream),
         enabled=True,
+        events=events if events is not None else NULL_EVENT_BUS,
     )
     if install:
         set_obs(obs)

@@ -29,10 +29,30 @@ def _freeze_labels(labels: Mapping[str, str]) -> LabelValues:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double-quote, and line feed must be escaped."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    it = iter(value)
+    for char in it:
+        if char != "\\":
+            out.append(char)
+            continue
+        escaped = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(escaped, "\\" + escaped))
+    return "".join(out)
+
+
 def _format_labels(labels: LabelValues) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
     return "{" + inner + "}"
 
 
@@ -271,6 +291,63 @@ class MetricsRegistry:
                     metric._series[key] = rebuilt
         return registry
 
+    # -- cross-registry merge -------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry",
+              extra_labels: Optional[Mapping[str, str]] = None) -> "MetricsRegistry":
+        """Fold ``other``'s samples into this registry, exactly.
+
+        The merge is **additive** for counters and histograms (values,
+        bucket counts, counts and sums add per label set) and
+        **last-write-wins** for gauges (``other``'s value replaces
+        ours).  A metric present in both registries must agree on kind
+        and — for histograms — bucket edges; anything else raises
+        ``ValueError`` instead of silently mixing schemas.
+
+        ``extra_labels`` are appended to every incoming sample's label
+        set (the fleet uses ``{"from_cache": "true"}`` when replaying a
+        snapshot served from the shard cache).  Merging is associative
+        and commutative over counters and histograms, with the empty
+        registry as identity — the property the fleet's any-worker-count
+        equivalence rests on.
+        """
+        extra = _freeze_labels(extra_labels or {})
+        for theirs in other._metrics.values():
+            mine = self._metrics.get(theirs.name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = Histogram(theirs.name, theirs.help, buckets=theirs.buckets)
+                else:
+                    mine = type(theirs)(theirs.name, theirs.help)
+                self._metrics[theirs.name] = mine
+            elif mine.kind != theirs.kind:
+                raise ValueError(
+                    f"cannot merge metric {theirs.name!r}: "
+                    f"{mine.kind} != {theirs.kind}")
+            if isinstance(theirs, Histogram):
+                assert isinstance(mine, Histogram)
+                if mine.buckets != theirs.buckets:
+                    raise ValueError(
+                        f"cannot merge histogram {theirs.name!r}: "
+                        f"bucket edges differ ({mine.buckets} != {theirs.buckets})")
+                for labels, series in theirs._series.items():
+                    key = tuple(sorted(labels + extra))
+                    target = mine._series.get(key)
+                    if target is None:
+                        target = mine._series[key] = _HistogramSeries(len(mine.buckets))
+                    for index, bucket in enumerate(series.bucket_counts):
+                        target.bucket_counts[index] += bucket
+                    target.count += series.count
+                    target.sum += series.sum
+            elif isinstance(theirs, Gauge):
+                for labels, value in theirs._values.items():
+                    mine._values[tuple(sorted(labels + extra))] = value
+            else:  # Counter
+                for labels, value in theirs._values.items():
+                    key = tuple(sorted(labels + extra))
+                    mine._values[key] = mine._values.get(key, 0.0) + value
+        return self
+
     # -- Prometheus text export -----------------------------------------------------
 
     def to_prometheus_text(self) -> str:
@@ -302,10 +379,15 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[LabelValues, float]]:
     """Parse exposition text back into ``{name: {labels: value}}``.
 
     Supports exactly what :meth:`MetricsRegistry.to_prometheus_text`
-    emits — enough for lossless counter/gauge round-trip tests.
+    emits — enough for lossless counter/gauge round-trip tests.  Label
+    values are unescaped, so hostile values (backslashes, quotes,
+    newlines, commas) survive the round trip.
     """
+    import re
+
+    pair_re = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
     samples: Dict[str, Dict[LabelValues, float]] = {}
-    for line in text.splitlines():
+    for line in text.split("\n"):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
@@ -313,12 +395,10 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[LabelValues, float]]:
         if "{" in name_part:
             name, _, label_part = name_part.partition("{")
             label_part = label_part.rstrip("}")
-            labels = []
-            for item in label_part.split(","):
-                if not item:
-                    continue
-                key, _, raw = item.partition("=")
-                labels.append((key, raw.strip('"')))
+            labels = [
+                (match.group(1), _unescape_label_value(match.group(2)))
+                for match in pair_re.finditer(label_part)
+            ]
             key = tuple(sorted(labels))
         else:
             name, key = name_part, ()

@@ -1,0 +1,127 @@
+"""``ObsSnapshot``: a worker process's telemetry, serialized for merge.
+
+Since the fleet shards run in a process pool, their metrics, spans and
+error counts die with the worker unless they travel home with the shard
+result.  An :class:`ObsSnapshot` is that travel form: the worker's
+:class:`~repro.obs.metrics.MetricsRegistry` dict export, its span
+forest, and the decode-error / fault tallies, under a schema version so
+cached snapshots from older code are rejected instead of misread.
+
+The parent applies a snapshot with :meth:`ObsSnapshot.apply`, which
+merges metrics additively (:meth:`MetricsRegistry.merge`) and grafts
+the spans under a parent span (:meth:`Tracer.absorb`).  Snapshots
+served from the shard cache are applied with
+``extra_labels={"from_cache": "true"}`` so replayed telemetry stays
+distinguishable from freshly computed work while keeping counter totals
+exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.context import Observability
+from repro.obs.metrics import MetricsRegistry
+
+#: Bump when the snapshot payload changes shape.
+SCHEMA_VERSION = 1
+
+
+class ObsSnapshotError(ValueError):
+    """A snapshot payload that cannot be interpreted (wrong schema)."""
+
+
+@dataclass
+class ObsSnapshot:
+    """One process's observability state, as plain JSON-able data."""
+
+    metrics: Dict[str, object] = field(default_factory=dict)
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    #: ``reason -> count`` from the capture's quarantine log.
+    decode_errors: Dict[str, int] = field(default_factory=dict)
+    #: ``kind -> count`` from the fault injector.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    @classmethod
+    def capture(
+        cls,
+        obs: Observability,
+        decode_errors: Optional[Mapping[str, int]] = None,
+        fault_counts: Optional[Mapping[str, int]] = None,
+    ) -> "ObsSnapshot":
+        """Snapshot ``obs``'s registry and span forest right now."""
+        return cls(
+            metrics=obs.metrics.to_dict(),
+            spans=obs.tracer.export_spans(),
+            decode_errors=dict(decode_errors or {}),
+            fault_counts=dict(fault_counts or {}),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "decode_errors": self.decode_errors,
+            "fault_counts": self.fault_counts,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "ObsSnapshot":
+        if not isinstance(raw, Mapping):
+            raise ObsSnapshotError(f"snapshot must be a mapping, got {type(raw)!r}")
+        schema = raw.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ObsSnapshotError(
+                f"snapshot schema {schema!r} != supported {SCHEMA_VERSION}")
+        return cls(
+            metrics=dict(raw.get("metrics", {})),
+            spans=list(raw.get("spans", [])),
+            decode_errors=dict(raw.get("decode_errors", {})),
+            fault_counts=dict(raw.get("fault_counts", {})),
+            schema=int(schema),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.metrics or self.spans
+                    or self.decode_errors or self.fault_counts)
+
+    def apply(
+        self,
+        obs: Observability,
+        extra_labels: Optional[Mapping[str, str]] = None,
+        span_parent=None,
+        span_attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Fold this snapshot into a live observability context.
+
+        * metrics merge exactly (counters/histograms add, gauges
+          last-write-wins), with ``extra_labels`` on every sample;
+        * spans graft under ``span_parent`` with ``span_attrs`` stamped
+          on each absorbed root;
+        * decode-error and fault tallies re-count into the standard
+          ``capture_decode_quarantined_total{reason}`` /
+          ``faults_injected_total{kind}`` counters so a merged run's
+          chaos accounting covers the workers.
+        """
+        if not obs.enabled:
+            return
+        if self.metrics:
+            obs.metrics.merge(MetricsRegistry.from_dict(self.metrics),
+                              extra_labels=extra_labels)
+        if self.spans:
+            obs.tracer.absorb(self.spans, parent=span_parent,
+                              extra_attrs=span_attrs)
+        labels = dict(extra_labels or {})
+        for reason, count in sorted(self.decode_errors.items()):
+            obs.metrics.counter(
+                "capture_decode_quarantined_total",
+                "malformed frames quarantined by the total decode",
+            ).inc(count, reason=reason, **labels)
+        for kind, count in sorted(self.fault_counts.items()):
+            obs.metrics.counter(
+                "faults_injected_total", "faults injected into the LAN, per kind",
+            ).inc(count, kind=kind, **labels)

@@ -77,6 +77,26 @@ class Span:
             out["wall_duration"] = self.wall_duration
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object],
+                  parent: Optional["Span"] = None) -> "Span":
+        """Rebuild a span (sub)tree from :meth:`to_dict` output."""
+        span = cls(
+            name=str(data["name"]),
+            attrs=dict(data.get("attrs", {})),
+            parent=parent,
+            sim_start=data.get("sim_start"),
+            wall_start=float(data.get("wall_start") or 0.0),
+        )
+        span.sim_end = data.get("sim_end")
+        span.wall_end = data.get("wall_end")
+        span.status = str(data.get("status", "ok"))
+        span.children = [
+            cls.from_dict(child, parent=span)
+            for child in data.get("children", [])
+        ]
+        return span
+
 
 class Tracer:
     """Records a forest of spans; one instance per observed run.
@@ -166,10 +186,40 @@ class Tracer:
     def find(self, name: str) -> List[Span]:
         return [span for span in self.iter_spans() if span.name == name]
 
-    # -- export -------------------------------------------------------------------
+    # -- export / absorb ----------------------------------------------------------
 
     def to_tree(self, include_wall: bool = True) -> List[Dict[str, object]]:
         return [root.to_dict(include_wall) for root in self.roots]
+
+    def export_spans(self, include_wall: bool = True) -> List[Dict[str, object]]:
+        """The span forest as plain dicts — the ``ObsSnapshot`` payload
+        a fleet worker ships back across the process boundary."""
+        return self.to_tree(include_wall)
+
+    def absorb(self, spans: List[Dict[str, object]],
+               parent: Optional[Span] = None,
+               extra_attrs: Optional[Dict[str, object]] = None) -> List[Span]:
+        """Graft exported span trees into this tracer.
+
+        Rebuilt roots attach under ``parent`` when given (the fleet
+        nests worker spans under its ``fleet.run`` span), else become
+        new roots.  ``extra_attrs`` are stamped onto each absorbed root
+        (e.g. ``shard`` index, ``from_cache``).  Wall timestamps keep
+        the exporting process's ``perf_counter`` epoch; compare
+        durations, not absolute wall positions, across processes.
+        """
+        absorbed: List[Span] = []
+        for data in spans:
+            span = Span.from_dict(data, parent=parent)
+            if extra_attrs:
+                span.attrs.update(extra_attrs)
+            if parent is None:
+                with self._roots_lock:
+                    self.roots.append(span)
+            else:
+                parent.children.append(span)
+            absorbed.append(span)
+        return absorbed
 
     def to_json(self, include_wall: bool = True, indent: int = 2) -> str:
         return json.dumps(self.to_tree(include_wall), indent=indent, sort_keys=True)
@@ -247,6 +297,12 @@ class NullTracer:
         return []
 
     def to_tree(self, include_wall: bool = True) -> List[Dict[str, object]]:
+        return []
+
+    def export_spans(self, include_wall: bool = True) -> List[Dict[str, object]]:
+        return []
+
+    def absorb(self, spans, parent=None, extra_attrs=None) -> List[Span]:
         return []
 
     def to_chrome_trace(self) -> Dict[str, object]:

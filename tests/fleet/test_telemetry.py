@@ -1,0 +1,121 @@
+"""Fleet telemetry merge: whole-run counters at any worker count.
+
+The acceptance bar for the cross-process merge: ``repro fleet
+--workers 4 --metrics-out`` must agree with ``--workers 1`` on every
+counter total (wall-clock histograms and ``from_cache`` labels are the
+only sanctioned differences), and cache replays must resurface the
+stored worker telemetry labelled ``from_cache="true"``.
+"""
+
+from __future__ import annotations
+
+from repro.fleet import run_fleet
+from repro.obs import MetricsRegistry, Tracer, use_obs
+from repro.obs.context import Observability
+from repro.obs.logging import NullLogManager
+
+
+def _fleet_metrics(spec, workers, cache_dir=None):
+    obs = Observability(metrics=MetricsRegistry(), tracer=Tracer(),
+                        logs=NullLogManager(), enabled=True)
+    with use_obs(obs):
+        result = run_fleet(spec, workers=workers,
+                           cache_dir=str(cache_dir) if cache_dir else None)
+    return result, obs
+
+
+def _counter_totals(registry: MetricsRegistry):
+    """name -> {label_key: value} for every counter family."""
+    totals = {}
+    for name, entry in registry.to_dict().items():
+        if entry["type"] != "counter":
+            continue
+        totals[name] = {
+            tuple(sorted(sample["labels"].items())): sample["value"]
+            for sample in entry["samples"]
+        }
+    return totals
+
+
+class TestWorkerCountEquivalence:
+    def test_counters_identical_at_1_and_4_workers(self, small_spec):
+        _, obs_1 = _fleet_metrics(small_spec, workers=1)
+        _, obs_4 = _fleet_metrics(small_spec, workers=4)
+        totals_1 = _counter_totals(obs_1.metrics)
+        totals_4 = _counter_totals(obs_4.metrics)
+        assert totals_1 == totals_4
+        # The merge actually carried worker-side counters home.
+        assert totals_1["fleet_worker_households_total"][()] == 96
+        assert totals_1["fleet_worker_devices_total"][()] > 0
+        shard_states = totals_1["fleet_shards_total"]
+        assert shard_states[(("state", "completed"),)] == 3
+
+    def test_worker_spans_absorbed_per_shard(self, small_spec):
+        _, obs = _fleet_metrics(small_spec, workers=2)
+        tree = obs.tracer.to_tree()
+        run_roots = [root for root in tree if root["name"] == "fleet.run"]
+        assert len(run_roots) == 1
+
+        def collect(node, out):
+            out.append(node)
+            for child in node.get("children", []):
+                collect(child, out)
+            return out
+
+        nodes = collect(run_roots[0], [])
+        workers = [n for n in nodes if n["name"] == "fleet.worker"]
+        assert len(workers) == 3  # one absorbed subtree per shard
+        assert {w["attrs"]["from_cache"] for w in workers} == {"false"}
+        for worker in workers:
+            child_names = {c["name"] for c in worker.get("children", [])}
+            assert {"worker.generate", "worker.analyze"} <= child_names
+
+
+class TestCacheReplayTelemetry:
+    def test_cached_shards_replay_with_from_cache_label(self, small_spec,
+                                                        tmp_path):
+        _, cold = _fleet_metrics(small_spec, workers=1, cache_dir=tmp_path)
+        _, warm = _fleet_metrics(small_spec, workers=2, cache_dir=tmp_path)
+
+        cold_households = _counter_totals(cold.metrics)[
+            "fleet_worker_households_total"]
+        warm_households = _counter_totals(warm.metrics)[
+            "fleet_worker_households_total"]
+        # Fresh run: unlabelled. Warm run: same total, from_cache="true".
+        assert cold_households == {(): 96}
+        assert warm_households == {(("from_cache", "true"),): 96}
+
+        warm_spans = [root for root in warm.tracer.to_tree()
+                      if root["name"] == "fleet.run"]
+        flags = set()
+
+        def walk(node):
+            if node["name"] == "fleet.worker":
+                flags.add(node["attrs"]["from_cache"])
+            for child in node.get("children", []):
+                walk(child)
+
+        walk(warm_spans[0])
+        assert flags == {"true"}
+
+    def test_pre_snapshot_cache_entries_are_tolerated(self, small_spec,
+                                                      tmp_path, capsys):
+        """Cache payloads written before the obs key existed still load."""
+        import json
+
+        from repro.fleet.cache import ShardCache
+
+        _, _ = _fleet_metrics(small_spec, workers=1, cache_dir=tmp_path)
+        cache = ShardCache(tmp_path)
+        # Strip the obs snapshot from every stored payload in place.
+        for path in sorted(tmp_path.rglob("*.json")):
+            payload = json.loads(path.read_text())
+            if isinstance(payload, dict) and "obs" in payload:
+                del payload["obs"]
+                path.write_text(json.dumps(payload))
+        result, warm = _fleet_metrics(small_spec, workers=1,
+                                      cache_dir=tmp_path)
+        assert result.cache_hits == 3
+        totals = _counter_totals(warm.metrics)
+        assert "fleet_worker_households_total" not in totals
+        assert totals["fleet_shards_total"][(("state", "cached"),)] == 3

@@ -1,0 +1,128 @@
+"""Tests for the perf-trajectory recorder and regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BenchEntry,
+    BenchTrajectory,
+    SCHEMA_VERSION,
+    check_regression,
+    env_fingerprint,
+)
+
+FP_A = {"python": "3.11.0", "cpu_count": 4, "code_version": "aaaa"}
+FP_B = {"python": "3.11.0", "cpu_count": 16, "code_version": "aaaa"}
+
+
+def _trajectory(*values, fingerprints=None, metric="pps"):
+    trajectory = BenchTrajectory(name="t", primary_metric=metric)
+    fingerprints = fingerprints or [FP_A] * len(values)
+    for index, value in enumerate(values):
+        trajectory.append(BenchEntry(
+            date=f"2026-01-{index + 1:02d}",
+            fingerprint=dict(fingerprints[index]),
+            metrics={metric: float(value)},
+        ))
+    return trajectory
+
+
+class TestEnvFingerprint:
+    def test_stable_and_complete(self):
+        fingerprint = env_fingerprint()
+        assert fingerprint == env_fingerprint()
+        for key in ("python", "implementation", "platform", "machine",
+                    "cpu_count", "code_version"):
+            assert key in fingerprint
+
+    def test_code_version_matches_fleet(self):
+        from repro.fleet.spec import code_version
+
+        assert env_fingerprint()["code_version"] == code_version()
+
+
+class TestTrajectoryFile:
+    def test_save_load_round_trip(self, tmp_path):
+        trajectory = _trajectory(100.0, 110.0)
+        path = trajectory.save(tmp_path / "BENCH_t.json")
+        loaded = BenchTrajectory.load(path)
+        assert loaded.to_dict() == trajectory.to_dict()
+        assert loaded.primary_metric == "pps"
+        assert len(loaded.entries) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        trajectory = BenchTrajectory.load(tmp_path / "absent.json",
+                                          name="x", primary_metric="pps")
+        assert trajectory.entries == []
+        assert trajectory.name == "x"
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(ValueError, match="schema"):
+            BenchTrajectory.load(path)
+
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path):
+        trajectory = _trajectory(1.0)
+        trajectory.save(tmp_path / "BENCH_t.json")
+        trajectory.save()  # second save reuses the stored path
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_t.json"]
+
+
+class TestRegressionGate:
+    def test_empty_trajectory_fails(self):
+        verdict = check_regression(_trajectory())
+        assert not verdict.ok
+        assert "no entries" in verdict.detail
+
+    def test_first_entry_seeds_and_passes(self):
+        verdict = check_regression(_trajectory(100.0))
+        assert verdict.ok
+        assert "seeds" in verdict.detail
+
+    def test_within_tolerance_passes(self):
+        # median of [100, 120, 110] = 110; 90 > 110 * 0.75
+        verdict = check_regression(_trajectory(100.0, 120.0, 110.0, 90.0))
+        assert verdict.ok
+        assert verdict.baseline == 110.0
+
+    def test_regression_beyond_tolerance_fails(self):
+        verdict = check_regression(_trajectory(100.0, 120.0, 110.0, 70.0))
+        assert not verdict.ok
+        assert "REGRESSION" in verdict.detail
+
+    def test_only_same_fingerprint_history_counts(self):
+        # Fast-machine history must not fail a slow machine's entry.
+        trajectory = _trajectory(
+            500.0, 520.0, 100.0,
+            fingerprints=[FP_B, FP_B, FP_A])
+        verdict = check_regression(trajectory)
+        assert verdict.ok
+        assert "seeds" in verdict.detail
+
+    def test_lower_is_better_direction(self):
+        trajectory = _trajectory(10.0, 10.0, 14.0)
+        trajectory.higher_is_better = False
+        verdict = check_regression(trajectory)
+        assert not verdict.ok
+
+    def test_missing_primary_metric_fails(self):
+        trajectory = _trajectory(1.0)
+        trajectory.primary_metric = "elsewhere"
+        assert not check_regression(trajectory).ok
+
+
+class TestCheckerScript:
+    def test_repo_trajectories_pass_the_gate(self):
+        """The committed BENCH_*.json seeds must satisfy the CI gate."""
+        import importlib.util
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        spec = importlib.util.spec_from_file_location(
+            "check_bench_regression",
+            repo / "tools" / "check_bench_regression.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main([]) == 0

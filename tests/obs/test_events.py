@@ -1,0 +1,122 @@
+"""Tests for the NDJSON event bus (``repro.obs.events``)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import EventBus, NullEventBus, open_event_stream, process_stats
+from repro.obs.events import SCHEMA_VERSION
+
+
+def _records(sink: io.StringIO):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestEventBus:
+    def test_emit_writes_schema_versioned_ndjson(self):
+        sink = io.StringIO()
+        bus = EventBus(sink, clock=lambda: 1234.5)
+        bus.emit("run_start", kind="study", seed=7)
+        bus.emit("stage_start", stage="build")
+        records = _records(sink)
+        assert [r["event"] for r in records] == ["run_start", "stage_start"]
+        first = records[0]
+        assert first["v"] == SCHEMA_VERSION
+        assert first["wall"] == 1234.5
+        assert first["seed"] == 7 and first["kind"] == "study"
+        assert isinstance(first["pid"], int)
+
+    def test_seq_is_monotonic_from_one(self):
+        sink = io.StringIO()
+        bus = EventBus(sink)
+        for _ in range(5):
+            bus.emit("tick")
+        assert [r["seq"] for r in _records(sink)] == [1, 2, 3, 4, 5]
+
+    def test_subscribers_see_every_record(self):
+        seen = []
+        bus = EventBus(None)
+        bus.subscribe(seen.append)
+        bus.emit("shard_done", shard=2)
+        assert len(seen) == 1
+        assert seen[0]["event"] == "shard_done" and seen[0]["shard"] == 2
+
+    def test_heartbeat_is_throttled(self):
+        now = [50.0]
+        sink = io.StringIO()
+        bus = EventBus(sink, clock=lambda: now[0])
+        bus.heartbeat(kind="fleet")       # past the (epoch) interval: fires
+        bus.heartbeat(kind="fleet")       # same instant: suppressed
+        now[0] = 100.0
+        bus.heartbeat(kind="fleet")       # past the interval: fires
+        records = _records(sink)
+        assert [r["event"] for r in records] == ["heartbeat", "heartbeat"]
+
+    def test_heartbeat_carries_process_stats(self):
+        sink = io.StringIO()
+        EventBus(sink).heartbeat(kind="study")
+        record = _records(sink)[0]
+        # /proc-backed fields; at minimum RSS must be present on Linux.
+        assert "rss_bytes" in record or "cpu_seconds" in record
+
+    def test_sink_error_disables_sink_not_bus(self):
+        class Broken(io.StringIO):
+            def write(self, *_):
+                raise OSError("disk full")
+
+        seen = []
+        bus = EventBus(Broken())
+        bus.subscribe(seen.append)
+        bus.emit("a")
+        bus.emit("b")  # must not raise again
+        assert [r["event"] for r in seen] == ["a", "b"]
+
+    def test_close_is_idempotent(self):
+        sink = io.StringIO()
+        bus = EventBus(sink, owns_sink=False)
+        bus.emit("x")
+        bus.close()
+        bus.close()
+        assert not sink.closed  # not owned, so left open
+
+
+class TestNullEventBus:
+    def test_disabled_and_silent(self):
+        bus = NullEventBus()
+        assert not bus.enabled
+        bus.emit("anything", x=1)
+        bus.heartbeat()
+        bus.close()
+
+
+class TestOpenEventStream:
+    def test_none_gives_sinkless_live_bus(self):
+        bus = open_event_stream(None)
+        assert bus.enabled
+        bus.emit("x")  # no sink: subscriber-only, must not raise
+
+    def test_dash_streams_to_stderr(self, capsys):
+        bus = open_event_stream("-")
+        bus.emit("run_start", kind="fleet")
+        bus.close()
+        record = json.loads(capsys.readouterr().err.strip())
+        assert record["event"] == "run_start"
+
+    def test_path_owns_the_file(self, tmp_path):
+        target = tmp_path / "events.ndjson"
+        bus = open_event_stream(str(target))
+        bus.emit("run_start")
+        bus.emit("run_end")
+        bus.close()
+        lines = target.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["event"] == "run_end"
+
+
+class TestProcessStats:
+    def test_returns_numeric_fields(self):
+        stats = process_stats()
+        assert stats  # Linux container: /proc/self must be readable
+        for value in stats.values():
+            assert isinstance(value, (int, float))

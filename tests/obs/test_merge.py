@@ -1,0 +1,198 @@
+"""Tests for cross-process telemetry merge: registry merge + snapshots.
+
+The fleet's whole-run telemetry rests on ``MetricsRegistry.merge``
+being an *exact additive* merge — these tests pin the algebra
+(associative, commutative over counters/histograms, empty-registry
+identity) and the conflict rules, then cover the ``ObsSnapshot``
+envelope workers ship their telemetry home in.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    ObsSnapshot,
+    ObsSnapshotError,
+    Tracer,
+)
+from repro.obs.context import Observability
+from repro.obs.logging import NullLogManager
+
+
+def _registry_a() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("packets_total", "frames seen")
+    counter.inc(7, protocol="mdns")
+    counter.inc(3, protocol="arp")
+    registry.gauge("depth").set(4)
+    hist = registry.histogram("lat", buckets=(0.1, 1.0))
+    hist.observe(0.05, stage="build")
+    hist.observe(0.5, stage="build")
+    hist.observe(2.0, stage="scan")
+    return registry
+
+
+def _registry_b() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("packets_total", "frames seen")
+    counter.inc(5, protocol="mdns")
+    counter.inc(1, protocol="ssdp")
+    registry.gauge("depth").set(9)
+    hist = registry.histogram("lat", buckets=(0.1, 1.0))
+    hist.observe(0.01, stage="build")
+    return registry
+
+
+def _counter_samples(registry: MetricsRegistry, name: str):
+    return {tuple(sorted(s["labels"].items())): s["value"]
+            for s in registry.to_dict()[name]["samples"]}
+
+
+class TestMergeAlgebra:
+    def test_counters_add_per_label_set(self):
+        merged = _registry_a()
+        merged.merge(_registry_b())
+        samples = _counter_samples(merged, "packets_total")
+        assert samples[(("protocol", "mdns"),)] == 12
+        assert samples[(("protocol", "arp"),)] == 3
+        assert samples[(("protocol", "ssdp"),)] == 1
+
+    def test_histograms_add_bucket_counts_and_sums(self):
+        merged = _registry_a()
+        merged.merge(_registry_b())
+        hist = merged.get("lat")
+        assert hist.count(stage="build") == 3
+        assert hist.sum(stage="build") == pytest.approx(0.56)
+        assert hist.cumulative_buckets(stage="build") == [
+            (0.1, 2), (1.0, 3), (math.inf, 3)]
+        assert hist.count(stage="scan") == 1
+
+    def test_gauges_last_write_wins(self):
+        merged = _registry_a()
+        merged.merge(_registry_b())
+        assert merged.get("depth").value() == 9
+
+    def test_identity_empty_registry(self):
+        merged = _registry_a()
+        merged.merge(MetricsRegistry())
+        assert merged.to_dict() == _registry_a().to_dict()
+        empty = MetricsRegistry()
+        empty.merge(_registry_a())
+        assert empty.to_dict() == _registry_a().to_dict()
+
+    def test_commutative_over_counters_and_histograms(self):
+        ab = _registry_a()
+        ab.merge(_registry_b())
+        ba = _registry_b()
+        ba.merge(_registry_a())
+        a_dict, b_dict = ab.to_dict(), ba.to_dict()
+        for name in ("packets_total", "lat"):
+            assert a_dict[name] == b_dict[name]
+        # The gauge is the one deliberate exception: last write wins.
+        assert a_dict["depth"] != b_dict["depth"]
+
+    def test_associative(self):
+        def registry_c():
+            registry = MetricsRegistry()
+            registry.counter("packets_total").inc(100, protocol="arp")
+            hist = registry.histogram("lat", buckets=(0.1, 1.0))
+            hist.observe(0.2, stage="build")
+            return registry
+
+        left = _registry_a()
+        bc = _registry_b()
+        bc.merge(registry_c())
+        left.merge(bc)
+
+        right = _registry_a()
+        right.merge(_registry_b())
+        right.merge(registry_c())
+        assert left.to_dict() == right.to_dict()
+
+    def test_round_trip_then_merge_matches_direct_merge(self):
+        """Serialize -> from_dict -> merge equals merging the original."""
+        direct = _registry_a()
+        direct.merge(_registry_b())
+        shipped = _registry_a()
+        shipped.merge(MetricsRegistry.from_dict(_registry_b().to_dict()))
+        assert shipped.to_dict() == direct.to_dict()
+
+
+class TestMergeConflicts:
+    def test_kind_mismatch_rejected(self):
+        ours = MetricsRegistry()
+        ours.counter("x")
+        theirs = MetricsRegistry()
+        theirs.gauge("x")
+        with pytest.raises(ValueError, match="counter != gauge"):
+            ours.merge(theirs)
+
+    def test_bucket_mismatch_rejected(self):
+        ours = MetricsRegistry()
+        ours.histogram("h", buckets=(1.0, 2.0))
+        theirs = MetricsRegistry()
+        theirs.histogram("h", buckets=(1.0, 4.0))
+        with pytest.raises(ValueError, match="bucket"):
+            ours.merge(theirs)
+
+    def test_missing_families_are_created(self):
+        ours = MetricsRegistry()
+        theirs = _registry_a()
+        ours.merge(theirs)
+        assert ours.to_dict() == theirs.to_dict()
+
+
+class TestMergeExtraLabels:
+    def test_extra_labels_stamped_on_incoming_samples(self):
+        ours = MetricsRegistry()
+        ours.counter("packets_total").inc(2, protocol="mdns")
+        theirs = MetricsRegistry()
+        theirs.counter("packets_total").inc(5, protocol="mdns")
+        ours.merge(theirs, extra_labels={"from_cache": "true"})
+        samples = _counter_samples(ours, "packets_total")
+        assert samples[(("protocol", "mdns"),)] == 2
+        assert samples[(("from_cache", "true"), ("protocol", "mdns"))] == 5
+
+
+class TestObsSnapshot:
+    def _worker_obs(self) -> Observability:
+        obs = Observability(metrics=MetricsRegistry(), tracer=Tracer(),
+                            logs=NullLogManager(), enabled=True)
+        obs.metrics.counter("widgets_total").inc(4, kind="lamp")
+        with obs.tracer.span("work"):
+            pass
+        return obs
+
+    def test_capture_apply_round_trip(self):
+        snapshot = ObsSnapshot.capture(self._worker_obs(),
+                                       fault_counts={"loss": 3})
+        rebuilt = ObsSnapshot.from_dict(snapshot.to_dict())
+        parent = self._worker_obs()
+        rebuilt.apply(parent)
+        assert parent.metrics.get("widgets_total").value(kind="lamp") == 8
+        assert parent.metrics.get("faults_injected_total").value(kind="loss") == 3
+        assert sum(1 for root in parent.tracer.to_tree()
+                   if root["name"] == "work") == 2
+
+    def test_apply_with_from_cache_label(self):
+        snapshot = ObsSnapshot.capture(self._worker_obs())
+        parent = Observability(metrics=MetricsRegistry(), tracer=Tracer(),
+                               logs=NullLogManager(), enabled=True)
+        snapshot.apply(parent, extra_labels={"from_cache": "true"})
+        value = parent.metrics.get("widgets_total").value(
+            kind="lamp", from_cache="true")
+        assert value == 4
+
+    def test_wrong_schema_rejected(self):
+        raw = ObsSnapshot.capture(self._worker_obs()).to_dict()
+        raw["schema"] = 99
+        with pytest.raises(ObsSnapshotError):
+            ObsSnapshot.from_dict(raw)
+
+    def test_empty_snapshot(self):
+        obs = Observability(metrics=MetricsRegistry(), tracer=Tracer(),
+                            logs=NullLogManager(), enabled=True)
+        assert ObsSnapshot.capture(obs).is_empty
+        assert not ObsSnapshot.capture(self._worker_obs()).is_empty

@@ -151,6 +151,50 @@ class TestExport:
         assert self._populated().to_json() == self._populated().to_json()
 
 
+class TestLabelEscaping:
+    """Prometheus exposition escaping for hostile label values.
+
+    The exposition format requires ``\\`` → ``\\\\``, ``"`` → ``\\"``
+    and newline → ``\\n`` inside label values; device names and mDNS
+    service strings from real captures contain all three.
+    """
+
+    HOSTILE = {
+        "quote": 'say "cheese"',
+        "backslash": "C:\\Users\\iot\\device",
+        "newline": "line one\nline two",
+        "mixed": 'a\\b"c\nd"e\\',
+        "trailing_backslash": "ends with \\",
+    }
+
+    def test_hostile_values_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("names_total")
+        for key, value in self.HOSTILE.items():
+            counter.inc(2, name=value, case=key)
+        text = registry.to_prometheus_text()
+        parsed = parse_prometheus_text(text)
+        for key, value in self.HOSTILE.items():
+            labels = tuple(sorted({"name": value, "case": key}.items()))
+            assert parsed["names_total"][labels] == 2.0, key
+
+    def test_exposition_lines_stay_single_line(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(name="evil\nc 999")
+        sample_lines = [line for line in
+                        registry.to_prometheus_text().splitlines()
+                        if line.startswith("c{")]
+        # An unescaped newline would smuggle a fake sample line in.
+        assert len(sample_lines) == 1
+        assert '\\n' in sample_lines[0]
+
+    def test_escaped_quote_does_not_end_the_value(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7, a='x",b="y')
+        parsed = parse_prometheus_text(registry.to_prometheus_text())
+        assert parsed["c"][(("a", 'x",b="y'),)] == 7.0
+
+
 class TestNullRegistry:
     def test_writes_are_swallowed(self):
         registry = NullMetricsRegistry()

@@ -258,3 +258,82 @@ class TestFleet:
         missing = tmp_path / "no-such-dir" / "fleet.json"
         assert main(["fleet", "--json", str(missing)]) == 2
         assert "--json" in capsys.readouterr().err
+
+
+class TestEventStream:
+    """`--events-out` NDJSON streaming on study and fleet."""
+
+    FLEET = TestFleet.ARGS
+
+    def _events(self, path):
+        import json
+
+        return [json.loads(line) for line in
+                path.read_text().splitlines()]
+
+    def test_progress_flags_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--progress", "--no-progress"])
+
+    def test_events_out_parses_on_both_subcommands(self):
+        for command in ("study", "fleet"):
+            args = build_parser().parse_args([command, "--events-out", "-"])
+            assert args.events_out == "-"
+
+    def test_bad_events_dir_fails_before_run(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-dir" / "e.ndjson"
+        assert main(["fleet", "--events-out", str(missing)]) == 2
+        assert "--events-out" in capsys.readouterr().err
+
+    def test_study_event_stream_schema(self, tmp_path, capsys):
+        events_path = tmp_path / "events.ndjson"
+        assert main(["study", "--duration", "30", "--apps", "2",
+                     "--events-out", str(events_path)]) == 0
+        assert "events written to" in capsys.readouterr().err
+        records = self._events(events_path)
+        names = [record["event"] for record in records]
+        assert names[0] == "run_start" and names[-1] == "run_end"
+        assert "stage_start" in names and "stage_end" in names
+        assert "heartbeat" in names  # simulator liveness hook fired
+        for index, record in enumerate(records):
+            assert record["v"] == 1
+            assert record["seq"] == index + 1
+            assert record["wall"] > 0 and record["pid"] > 0
+        assert records[-1]["complete"] is True
+
+    def test_fleet_event_stream_shard_lifecycle(self, tmp_path):
+        events_path = tmp_path / "events.ndjson"
+        assert main(self.FLEET + ["--events-out", str(events_path),
+                                  "--no-progress"]) == 0
+        names = [record["event"] for record in self._events(events_path)]
+        assert names.count("shard_queued") == 3
+        assert names.count("shard_running") == 3
+        assert names.count("shard_done") == 3
+        assert names[-1] == "run_end"
+
+    def test_fleet_failure_still_writes_telemetry(self, tmp_path, capsys):
+        """The telemetry-on-failure contract: exit 1, outputs on disk."""
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"shards": {"fail": [1]}}', encoding="utf-8")
+        metrics_path = tmp_path / "m.json"
+        events_path = tmp_path / "e.ndjson"
+        code = main(self.FLEET + [
+            "--fault-plan", str(plan), "--fail-fast",
+            "--metrics-out", str(metrics_path),
+            "--events-out", str(events_path),
+        ])
+        assert code == 1
+        assert "shard 1" in capsys.readouterr().err
+
+        metrics = json.loads(metrics_path.read_text())
+        states = {tuple(sorted(s["labels"].items())): s["value"]
+                  for s in metrics["fleet_shards_total"]["samples"]}
+        assert states[(("state", "failed"),)] == 1
+
+        records = self._events(events_path)
+        names = [record["event"] for record in records]
+        assert "shard_failed" in names
+        assert names[-1] == "run_end"
+        assert records[-1]["complete"] is False

@@ -1,0 +1,71 @@
+"""The bench-regression gate: newest trajectory entry vs its history.
+
+For each repo-root ``BENCH_*.json`` trajectory (written by
+``tools/bench_record.py``), compares the newest entry's primary metric
+against the *median* of earlier entries with the **same environment
+fingerprint**, failing on a regression beyond the tolerance
+(:data:`repro.obs.bench.DEFAULT_TOLERANCE`, 25%)::
+
+    PYTHONPATH=src python tools/check_bench_regression.py
+    PYTHONPATH=src python tools/check_bench_regression.py --tolerance 0.1 BENCH_fleet.json
+
+An entry with no same-fingerprint history passes with a note (it seeds
+the trajectory for that machine); an *empty or missing* trajectory
+fails — the recorder must have run.  Exit 0 when every trajectory is
+clean, 1 otherwise, listing each verdict either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.bench import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    BenchTrajectory,
+    check_regression,
+)
+
+#: Trajectories gated by default when no files are named on the CLI.
+DEFAULT_FILES = ("BENCH_decode.json", "BENCH_fleet.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_bench_regression", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*",
+                        help="trajectory files to check "
+                             f"(default: {' '.join(DEFAULT_FILES)})")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative regression (default %(default)s)")
+    options = parser.parse_args(argv)
+
+    paths = [Path(name) if Path(name).is_absolute() else REPO_ROOT / name
+             for name in (options.files or DEFAULT_FILES)]
+    failures = 0
+    for path in paths:
+        label = path.name
+        if not path.exists():
+            print(f"FAIL {label}: missing (run tools/bench_record.py)")
+            failures += 1
+            continue
+        try:
+            trajectory = BenchTrajectory.load(path)
+        except (ValueError, OSError) as error:
+            print(f"FAIL {label}: {error}")
+            failures += 1
+            continue
+        verdict = check_regression(trajectory, tolerance=options.tolerance)
+        status = "ok  " if verdict.ok else "FAIL"
+        print(f"{status} {label}: {verdict.detail}")
+        failures += 0 if verdict.ok else 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
