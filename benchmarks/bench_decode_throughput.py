@@ -11,10 +11,16 @@ to the pipeline stages.
 Also runnable standalone as the CI perf smoke::
 
     PYTHONPATH=src python benchmarks/bench_decode_throughput.py --smoke
+    PYTHONPATH=src python benchmarks/bench_decode_throughput.py --smoke --profile
 
 which builds a small capture, checks that the cached path is not slower
 than the cold path and that parallel chunking is byte-identical to the
-serial decode, and prints the numbers as JSON.
+serial decode, and prints the numbers as JSON.  ``--profile`` adds the
+profiler overhead gate: the same decode with a
+:class:`repro.obs.profile.SamplingProfiler` running must stay within
+:data:`DEFAULT_PROFILE_OVERHEAD_MAX` (override via
+``REPRO_PROFILE_OVERHEAD_MAX``) of the unprofiled time, and the sampled
+flamegraph must actually contain decode-path frames.
 """
 
 from __future__ import annotations
@@ -146,6 +152,91 @@ def run_smoke(duration: float = 300.0, seed: int = 7) -> dict:
     return results
 
 
+#: Allowed profiled-vs-plain decode slowdown (10%) — the overhead
+#: contract of ``repro.obs.profile``; REPRO_PROFILE_OVERHEAD_MAX
+#: overrides it for noisy CI machines.
+DEFAULT_PROFILE_OVERHEAD_MAX = 0.10
+
+
+def run_profile_smoke(duration: float = 900.0, seed: int = 7,
+                      repeats: int = 5) -> dict:
+    """Profiler overhead gate: sampled decode vs plain decode.
+
+    Decodes the same capture under a running
+    :class:`~repro.obs.profile.SamplingProfiler` (with the
+    :class:`~repro.obs.profile.SpanResourceProbe` installed, i.e. the
+    full ``--profile-out`` configuration) and plain, **interleaved**
+    plain/profiled ``repeats`` times so container noise (CI neighbours,
+    thermal drift) hits both sides alike; compares best-of times and
+    checks the sampled flamegraph contains decode frames.  Returns the
+    numbers; raises ``SystemExit`` on a broken contract.
+    """
+    import os
+
+    from repro.devices.behaviors import build_testbed
+    from repro.obs import enable_observability, use_obs
+    from repro.obs.profile import SamplingProfiler, SpanResourceProbe
+
+    testbed = build_testbed(seed=seed)
+    testbed.run(duration)
+    records = list(testbed.lan.capture.records)
+
+    def decode_once():
+        return _feed(ApCapture(parallel_threshold=0), records).decoded()
+
+    profiler = SamplingProfiler()
+    obs = enable_observability(profiler=profiler)
+    obs.tracer.resource_probe = SpanResourceProbe()
+
+    def profiled_once():
+        with use_obs(obs), obs.tracer.span("decode"):
+            return decode_once()
+
+    decode_once()  # warm-up: caches and allocator state, untimed
+
+    def timed(fn) -> float:
+        started = time.perf_counter()
+        fn()
+        return time.perf_counter() - started
+
+    plain_seconds = profiled_seconds = float("inf")
+    for _ in range(repeats):
+        plain_seconds = min(plain_seconds, timed(decode_once))
+        # The sampler runs only while the profiled side is timed;
+        # start/stop stay outside the clock (a CLI run pays them
+        # once, not per decode).
+        profiler.start()
+        try:
+            profiled_seconds = min(profiled_seconds, timed(profiled_once))
+        finally:
+            profiler.stop()
+
+    flame = profiler.profile.to_collapsed()
+    overhead = (profiled_seconds / plain_seconds - 1.0) if plain_seconds else 0.0
+    limit = float(os.environ.get("REPRO_PROFILE_OVERHEAD_MAX",
+                                 DEFAULT_PROFILE_OVERHEAD_MAX))
+    results = {
+        "packets": len(records),
+        "plain_seconds": plain_seconds,
+        "profiled_seconds": profiled_seconds,
+        "overhead": overhead,
+        "overhead_limit": limit,
+        "profile_samples": profiler.profile.total_samples,
+        "decode_frames_sampled": "repro/net/decode.py" in flame,
+    }
+    if not results["decode_frames_sampled"]:
+        raise SystemExit(
+            "profiled decode produced no decode-path samples "
+            f"({results['profile_samples']} samples total) — "
+            "span attribution or the sampler thread is broken")
+    if overhead > limit:
+        raise SystemExit(
+            f"profiler overhead {overhead:.1%} exceeds the {limit:.0%} "
+            f"contract ({profiled_seconds:.4f}s profiled vs "
+            f"{plain_seconds:.4f}s plain)")
+    return results
+
+
 if __name__ == "__main__":
     import argparse
     import json
@@ -153,9 +244,15 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="run the CI perf smoke and print JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="also gate the sampling-profiler overhead "
+                             "contract (<10% decode slowdown)")
     parser.add_argument("--duration", type=float, default=300.0,
                         help="simulated seconds of capture to decode")
     options = parser.parse_args()
     if not options.smoke:
         parser.error("standalone mode requires --smoke (benches run via pytest)")
-    print(json.dumps(run_smoke(duration=options.duration), indent=2))
+    results = run_smoke(duration=options.duration)
+    if options.profile:
+        results["profile"] = run_profile_smoke(duration=options.duration)
+    print(json.dumps(results, indent=2))

@@ -120,13 +120,22 @@ def inspector_dataset():
 
 
 def pytest_benchmark_update_json(config, benchmarks, output_json):
-    """Attach stage timings and the environment fingerprint to the JSON.
+    """Attach stage timings, resource stats and the env fingerprint.
 
     The fingerprint is the same one ``tools/bench_record.py`` stamps
     into ``BENCH_*.json`` entries, so pytest-benchmark reports and
     trajectory entries are joinable on identical machine/code state.
+    ``resource_stats`` carries the session's ``rss_peak_bytes`` /
+    ``cpu_seconds`` (from :func:`repro.obs.events.process_stats`) — the
+    same columns the trajectory's memory gate watches.
     """
     from repro.obs.bench import env_fingerprint
+    from repro.obs.events import process_stats
 
     output_json["stage_timings"] = dict(sorted(STAGE_TIMINGS.items()))
     output_json["env_fingerprint"] = env_fingerprint()
+    stats = process_stats()
+    output_json["resource_stats"] = {
+        "rss_peak_bytes": stats["rss_peak_bytes"],
+        "cpu_seconds": stats["cpu_seconds"],
+    }

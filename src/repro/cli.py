@@ -4,7 +4,7 @@ Installed as the ``repro`` console script::
 
     repro study        [--seed N] [--duration SECONDS] [--apps N]
                        [--metrics-out PATH] [--trace-out PATH] [--events-out PATH]
-                       [--log-level LEVEL]
+                       [--profile-out DIR] [--profile-hz HZ] [--log-level LEVEL]
                        [--fault-plan PATH] [--keep-going | --fail-fast]
     repro classify     PCAP [--crossval]
     repro scan         [--seed N]
@@ -14,7 +14,8 @@ Installed as the ``repro`` console script::
     repro fleet        [--households N] [--workers W] [--shard-size N]
                        [--cache-dir PATH] [--resume] [--json PATH]
                        [--fault-plan PATH] [--keep-going | --fail-fast]
-                       [--events-out PATH] [--progress | --no-progress]
+                       [--events-out PATH] [--profile-out DIR] [--profile-hz HZ]
+                       [--progress | --no-progress]
 
 ``repro classify`` works on *any* classic-pcap file (including captures
 from a real network), making the classifier pair usable outside the
@@ -47,20 +48,38 @@ def _progress_wanted(args: argparse.Namespace) -> bool:
 
 def _build_observability(args: argparse.Namespace):
     """A live observability context when any ``--metrics-out`` /
-    ``--trace-out`` / ``--events-out`` / ``--log-level`` flag was given
-    (or a progress line needs the event bus), else the null one."""
+    ``--trace-out`` / ``--events-out`` / ``--profile-out`` /
+    ``--log-level`` flag was given (or a progress line needs the event
+    bus), else the null one."""
     from repro.obs import NULL_OBS, enable_observability, open_event_stream
 
     events_out = getattr(args, "events_out", None)
+    profile_out = getattr(args, "profile_out", None)
     # Only subcommands that define --progress (fleet) can want the bus
     # for the progress line alone.
     progress = "progress" in vars(args) and _progress_wanted(args)
     wanted = getattr(args, "metrics_out", None) or getattr(args, "trace_out", None) \
-        or getattr(args, "log_level", None) or events_out or progress
+        or getattr(args, "log_level", None) or events_out or progress or profile_out
     if not wanted:
         return NULL_OBS
     events = open_event_stream(events_out) if (events_out or progress) else None
-    return enable_observability(log_level=args.log_level, events=events)
+    profiler = None
+    if profile_out:
+        from repro.obs.profile import DEFAULT_PROFILE_HZ, SamplingProfiler
+
+        hz = getattr(args, "profile_hz", None) or DEFAULT_PROFILE_HZ
+        profiler = SamplingProfiler(hz=hz)
+    obs = enable_observability(log_level=args.log_level, events=events,
+                               profiler=profiler)
+    if profiler is not None:
+        # Per-span resource accounting rides with profiling; starting
+        # the sampler thread stays with the subcommand (the fleet's
+        # parent leaves it off so its merged profile is exactly the
+        # deterministic fold of the workers' profiles).
+        from repro.obs.profile import SpanResourceProbe
+
+        obs.tracer.resource_probe = SpanResourceProbe()
+    return obs
 
 
 def _check_output_paths(args: argparse.Namespace) -> Optional[str]:
@@ -79,6 +98,23 @@ def _check_output_paths(args: argparse.Namespace) -> Optional[str]:
             return f"--{flag.replace('_', '-')}: directory does not exist: {parent}"
         if not os.access(parent, os.W_OK):
             return f"--{flag.replace('_', '-')}: directory is not writable: {parent}"
+    profile_out = getattr(args, "profile_out", None)
+    profile_hz = getattr(args, "profile_hz", None)
+    if profile_hz is not None and not profile_out:
+        return "--profile-hz requires --profile-out"
+    if profile_hz is not None and profile_hz <= 0:
+        return f"--profile-hz must be positive, got {profile_hz}"
+    if profile_out:
+        target = os.path.abspath(profile_out)
+        # The directory itself is created on demand; its parent must
+        # already exist so a typo fails before the run, not after.
+        probe = target if os.path.isdir(target) else os.path.dirname(target)
+        if os.path.exists(target) and not os.path.isdir(target):
+            return f"--profile-out: not a directory: {profile_out}"
+        if not os.path.isdir(probe):
+            return f"--profile-out: directory does not exist: {probe}"
+        if not os.access(probe, os.W_OK):
+            return f"--profile-out: directory is not writable: {probe}"
     return None
 
 
@@ -95,6 +131,16 @@ def _write_observability_outputs(obs, args: argparse.Namespace) -> None:
     if getattr(args, "trace_out", None):
         obs.tracer.write_chrome_trace(args.trace_out)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out and obs.profiler.enabled:
+        from repro.obs.profile import write_profile_outputs
+
+        obs.profiler.stop()
+        write_profile_outputs(obs.profiler.profile, profile_out,
+                              tracer=obs.tracer)
+        print(f"profile written to {profile_out} "
+              f"({obs.profiler.profile.total_samples} samples)",
+              file=sys.stderr)
     events_out = getattr(args, "events_out", None)
     obs.events.close()
     if events_out and events_out != "-":
@@ -175,6 +221,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print(f"repro study: error: {error}", file=sys.stderr)
         return 2
     obs = _build_observability(args)
+    if obs.profiler.enabled:
+        obs.profiler.start()
     pipeline = StudyPipeline(
         seed=args.seed,
         passive_duration=args.duration,
@@ -378,6 +426,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"repro fleet: error: {error}", file=sys.stderr)
         return 2
     obs = _build_observability(args)
+    profile_hz = 0.0
+    if args.profile_out:
+        from repro.obs.profile import DEFAULT_PROFILE_HZ
+
+        # Fleet profiling is worker-side: each computed shard samples
+        # itself and the parent's (never-started) profiler is only the
+        # merge target, so the merged profile is a deterministic fold.
+        profile_hz = args.profile_hz if args.profile_hz else DEFAULT_PROFILE_HZ
     spec_kwargs = dict(
         seed=args.seed,
         households=args.households,
@@ -396,6 +452,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             keep_going=not args.fail_fast,
             obs=obs,
+            profile_hz=profile_hz,
         )
     except (FleetConfigError, ValueError) as error:
         print(f"repro fleet: error: {error}", file=sys.stderr)
@@ -487,6 +544,13 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--events-out", metavar="PATH", default=None,
                        help="stream NDJSON progress events to PATH "
                             "('-' streams to stderr; see docs/observability.md)")
+    study.add_argument("--profile-out", metavar="DIR", default=None,
+                       help="continuously profile the run; write flame.txt, "
+                            "profile.speedscope.json and span_resources.json "
+                            "into DIR (created if missing)")
+    study.add_argument("--profile-hz", type=float, default=None,
+                       help="profiler sampling rate in samples/second "
+                            "(default 97; requires --profile-out)")
     study.add_argument("--log-level", default=None,
                        choices=["debug", "info", "warning", "error"],
                        help="enable structured logging at this level "
@@ -573,6 +637,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--events-out", metavar="PATH", default=None,
                        help="stream NDJSON shard-lifecycle events to PATH "
                             "('-' streams to stderr; see docs/observability.md)")
+    fleet.add_argument("--profile-out", metavar="DIR", default=None,
+                       help="profile every computed shard worker and write "
+                            "the merged flame.txt / profile.speedscope.json / "
+                            "span_resources.json into DIR")
+    fleet.add_argument("--profile-hz", type=float, default=None,
+                       help="worker sampling rate in samples/second "
+                            "(default 97; requires --profile-out)")
     fleet.add_argument("--log-level", default=None,
                        choices=["debug", "info", "warning", "error"],
                        help="enable structured logging at this level")

@@ -262,11 +262,17 @@ class StudyPipeline:
                     "wall_seconds": span.wall_duration,
                     "sim_seconds": span.sim_duration,
                 }
-        return {
+        out: Dict[str, object] = {
             "stages": stages,
             "metrics": self.obs.metrics.to_dict(),
             "spans": tracer.to_tree(),
         }
+        # Key absent (not null) on unprofiled runs: their telemetry
+        # payload must stay byte-identical to pre-profiling builds.
+        profile = self.obs.profiler.snapshot()
+        if profile is not None:
+            out["profile"] = profile
+        return out
 
     # -- the analysis fan-out -----------------------------------------------------------
 

@@ -159,6 +159,7 @@ class FleetRunner:
         fault_plan: Optional[FaultPlan] = None,
         keep_going: bool = True,
         obs: Optional[Observability] = None,
+        profile_hz: float = 0.0,
     ) -> None:
         self.spec = spec if spec is not None else FleetSpec()
         self.workers = max(1, workers if workers is not None else default_workers())
@@ -167,6 +168,10 @@ class FleetRunner:
         self.fault_plan = fault_plan
         self.keep_going = keep_going
         self.obs = obs if obs is not None else get_obs()
+        #: Sampling rate handed to every computed shard's worker-side
+        #: profiler; ``0.0`` (the default) keeps workers unprofiled and
+        #: their payloads byte-identical to earlier builds.
+        self.profile_hz = float(profile_hz)
         if resume and self.cache is None:
             raise FleetConfigError("--resume requires a cache directory")
 
@@ -311,6 +316,9 @@ class FleetRunner:
         shards = self.spec.shards()
         doomed = _planned_failures(self.spec, self.fault_plan, shards)
         spec_dict = self.spec.to_dict()
+        # Workers join the parent's NDJSON stream (append mode) when it
+        # is file-backed; ``-``/in-memory buses have no path to share.
+        events_path = getattr(obs.events, "path", None)
 
         states: Dict[int, ShardState] = {}
         results: Dict[int, dict] = {}
@@ -410,7 +418,10 @@ class FleetRunner:
                                 start=shard.start, stop=shard.stop)
                     try:
                         payload = run_shard(spec_dict, shard.start, shard.stop,
-                                            inject_failure=shard.index in doomed)
+                                            inject_failure=shard.index in doomed,
+                                            profile_hz=self.profile_hz,
+                                            events_path=events_path,
+                                            shard_index=shard.index)
                     except Exception as exc:  # noqa: BLE001 - isolated via finish()
                         finish(shard, None, exc)
                     else:
@@ -422,7 +433,10 @@ class FleetRunner:
                     for shard in pending:
                         futures[pool.submit(
                             run_shard, spec_dict, shard.start, shard.stop,
-                            shard.index in doomed)] = shard
+                            inject_failure=shard.index in doomed,
+                            profile_hz=self.profile_hz,
+                            events_path=events_path,
+                            shard_index=shard.index)] = shard
                         events.emit("shard_running", shard=shard.index,
                                     start=shard.start, stop=shard.stop)
                     remaining = set(futures)
@@ -495,9 +509,11 @@ def run_fleet(
     fault_plan: Optional[FaultPlan] = None,
     keep_going: bool = True,
     obs: Optional[Observability] = None,
+    profile_hz: float = 0.0,
 ) -> FleetResult:
     """One-call fleet run; see :class:`FleetRunner` for the knobs."""
     return FleetRunner(
         spec=spec, workers=workers, cache_dir=cache_dir, resume=resume,
         fault_plan=fault_plan, keep_going=keep_going, obs=obs,
+        profile_hz=profile_hz,
     ).run()

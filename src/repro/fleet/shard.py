@@ -17,18 +17,32 @@ worker registry holds only deterministic counters/gauges (household,
 device, vendor tallies); wall-clock timings live in span attrs and the
 shard-level ``seconds`` field, keeping the parent's merged counter set
 byte-identical at any worker count.
+
+Two opt-in extras ride along, both off by default so an unprofiled
+fleet's shard payloads stay byte-identical to earlier builds:
+
+* ``profile_hz > 0`` runs a :class:`~repro.obs.profile.SamplingProfiler`
+  (plus a :class:`~repro.obs.profile.SpanResourceProbe`) for the
+  shard's lifetime; the sampled profile travels inside the ``"obs"``
+  snapshot and — because the cache stores the payload verbatim — cache
+  hits replay the stored profile on later runs.
+* ``events_path`` appends ``kind="worker"`` heartbeat records (shard
+  index + pid + RSS/CPU) to the parent's NDJSON event stream, so a
+  ``tail -f`` shows worker liveness, not just the parent's merge loop.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.inspector.entropy import analyze_dataset
 from repro.inspector.generate import build_context, generate_households
 from repro.inspector.schema import InspectorDataset
 from repro.obs import MetricsRegistry, Observability, ObsSnapshot, Tracer, use_obs
+from repro.obs.events import NULL_EVENT_BUS, open_event_stream
 from repro.obs.logging import NullLogManager
+from repro.obs.profile import NULL_PROFILER, SamplingProfiler, SpanResourceProbe
 
 
 class ShardFaultInjected(RuntimeError):
@@ -40,6 +54,9 @@ def run_shard(
     start: int,
     stop: int,
     inject_failure: bool = False,
+    profile_hz: float = 0.0,
+    events_path: Optional[str] = None,
+    shard_index: Optional[int] = None,
 ) -> Dict[str, object]:
     """Generate households ``[start, stop)`` and analyze them.
 
@@ -51,41 +68,62 @@ def run_shard(
         raise ShardFaultInjected(
             f"fault plan killed shard covering households [{start}, {stop})")
     started = time.perf_counter()
-    obs = Observability(metrics=MetricsRegistry(), tracer=Tracer(),
-                        logs=NullLogManager(), enabled=True)
-    with use_obs(obs), obs.tracer.span("fleet.worker", start=start, stop=stop):
-        with obs.tracer.span("worker.generate"):
-            context = build_context(
-                seed=int(spec_dict["seed"]),
-                households=int(spec_dict["households"]),
-                target_devices=int(spec_dict["target_devices"]),
-                vendor_count=int(spec_dict["vendor_count"]),
-                product_count=int(spec_dict["product_count"]),
-            )
-            households = generate_households(context, start, stop)
-            dataset = InspectorDataset(households=households)
-        with obs.tracer.span("worker.analyze"):
-            analysis = analyze_dataset(
-                dataset, validate_oui=bool(spec_dict["validate_oui"]))
+    profiler = SamplingProfiler(hz=profile_hz) if profile_hz > 0.0 else NULL_PROFILER
+    tracer = Tracer()
+    obs = Observability(metrics=MetricsRegistry(), tracer=tracer,
+                        logs=NullLogManager(), enabled=True, profiler=profiler)
+    events = (open_event_stream(events_path, append=True)
+              if events_path else NULL_EVENT_BUS)
+    probe: Optional[SpanResourceProbe] = None
+    if profiler.enabled:
+        profiler.bind(tracer)
+        probe = SpanResourceProbe()
+        tracer.resource_probe = probe
+        profiler.start()
+    try:
+        with use_obs(obs), obs.tracer.span("fleet.worker", start=start, stop=stop):
+            events.heartbeat(kind="worker", shard=shard_index,
+                             start=start, stop=stop, phase="generate")
+            with obs.tracer.span("worker.generate"):
+                context = build_context(
+                    seed=int(spec_dict["seed"]),
+                    households=int(spec_dict["households"]),
+                    target_devices=int(spec_dict["target_devices"]),
+                    vendor_count=int(spec_dict["vendor_count"]),
+                    product_count=int(spec_dict["product_count"]),
+                )
+                households = generate_households(context, start, stop)
+                dataset = InspectorDataset(households=households)
+            with obs.tracer.span("worker.analyze"):
+                analysis = analyze_dataset(
+                    dataset, validate_oui=bool(spec_dict["validate_oui"]))
+            events.heartbeat(kind="worker", shard=shard_index,
+                             start=start, stop=stop, phase="analyze")
 
-        vendor_counts: Dict[str, int] = {}
-        product_counts: Dict[str, int] = {}
-        device_counts: List[int] = []
-        for household in households:
-            device_counts.append(household.device_count)
-            for device in household.devices:
-                vendor_counts[device.truth_vendor] = vendor_counts.get(device.truth_vendor, 0) + 1
-                product_counts[device.truth_product] = product_counts.get(device.truth_product, 0) + 1
+            vendor_counts: Dict[str, int] = {}
+            product_counts: Dict[str, int] = {}
+            device_counts: List[int] = []
+            for household in households:
+                device_counts.append(household.device_count)
+                for device in household.devices:
+                    vendor_counts[device.truth_vendor] = vendor_counts.get(device.truth_vendor, 0) + 1
+                    product_counts[device.truth_product] = product_counts.get(device.truth_product, 0) + 1
 
-        metrics = obs.metrics
-        metrics.counter(
-            "fleet_worker_households_total",
-            "households generated and analyzed by fleet workers",
-        ).inc(len(households))
-        metrics.counter(
-            "fleet_worker_devices_total",
-            "devices generated and analyzed by fleet workers",
-        ).inc(dataset.device_count)
+            metrics = obs.metrics
+            metrics.counter(
+                "fleet_worker_households_total",
+                "households generated and analyzed by fleet workers",
+            ).inc(len(households))
+            metrics.counter(
+                "fleet_worker_devices_total",
+                "devices generated and analyzed by fleet workers",
+            ).inc(dataset.device_count)
+    finally:
+        if profiler.enabled:
+            profiler.stop()
+            if probe is not None:
+                probe.close()
+        events.close()
 
     return {
         "start": start,

@@ -32,6 +32,17 @@ from repro.obs.events import (
 )
 from repro.obs.instrument import counted, timed
 from repro.obs.logging import LogManager, NullLogger, StructuredLogger
+from repro.obs.profile import (
+    DEFAULT_PROFILE_HZ,
+    NULL_PROFILER,
+    NullProfiler,
+    Profile,
+    ProfileError,
+    SamplingProfiler,
+    SpanResourceProbe,
+    span_resource_table,
+    write_profile_outputs,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -69,6 +80,15 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "parse_prometheus_text",
+    "DEFAULT_PROFILE_HZ",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profile",
+    "ProfileError",
+    "SamplingProfiler",
+    "SpanResourceProbe",
+    "span_resource_table",
+    "write_profile_outputs",
     "NullTracer",
     "Span",
     "Tracer",

@@ -35,6 +35,18 @@ SCHEMA_VERSION = 1
 #: Allowed relative slowdown before the regression gate fails (25%).
 DEFAULT_TOLERANCE = 0.25
 
+#: The per-entry memory column the gate watches (lower is better).
+#: Stamped by ``tools/bench_record.py`` from
+#: :func:`repro.obs.events.process_stats`; entries recorded before the
+#: column existed (or on platforms where it reads 0) are skipped, so
+#: old history never trips the gate.
+MEMORY_METRIC = "rss_peak_bytes"
+
+#: Allowed relative peak-RSS growth before the gate fails (50%) —
+#: looser than the time tolerance because RSS is quantized by the
+#: allocator and swings more between runs than wall time does.
+DEFAULT_MEMORY_TOLERANCE = 0.5
+
 
 def env_fingerprint() -> Dict[str, object]:
     """What kind of machine/code produced a benchmark number.
@@ -169,11 +181,14 @@ class BenchTrajectory:
                    and previous.fingerprint == entry.fingerprint]
         return history
 
-    def baseline_median(self, entry: BenchEntry) -> Optional[float]:
-        """Median primary-metric value of ``entry``'s comparable history."""
-        values = [previous.metrics[self.primary_metric]
+    def baseline_median(self, entry: BenchEntry,
+                        metric: Optional[str] = None) -> Optional[float]:
+        """Median value of ``metric`` (default: the primary metric) over
+        ``entry``'s comparable history; entries lacking it are skipped."""
+        metric = metric if metric is not None else self.primary_metric
+        values = [previous.metrics[metric]
                   for previous in self.comparable_history(entry)
-                  if self.primary_metric in previous.metrics]
+                  if metric in previous.metrics]
         return statistics.median(values) if values else None
 
 
@@ -188,8 +203,33 @@ class RegressionVerdict:
     baseline: Optional[float] = None
 
 
-def check_regression(trajectory: BenchTrajectory,
-                     tolerance: float = DEFAULT_TOLERANCE) -> RegressionVerdict:
+def _check_memory(trajectory: BenchTrajectory, entry: BenchEntry,
+                  memory_tolerance: float) -> Optional[str]:
+    """The memory leg of the gate; returns a failure detail or ``None``.
+
+    Skips silently when the latest entry has no (or a zero)
+    :data:`MEMORY_METRIC` column, or when no comparable history carries
+    one — pre-column trajectories must keep passing unchanged.
+    """
+    value = entry.metrics.get(MEMORY_METRIC)
+    if not value:
+        return None
+    baseline = trajectory.baseline_median(entry, metric=MEMORY_METRIC)
+    if not baseline:
+        return None
+    limit = baseline * (1.0 + memory_tolerance)
+    if value > limit:
+        return (f"MEMORY REGRESSION: {MEMORY_METRIC}={value:.4g} vs median "
+                f"{baseline:.4g} (limit {limit:.4g}, "
+                f"{memory_tolerance:.0%} tolerance) — above the limit")
+    return None
+
+
+def check_regression(
+    trajectory: BenchTrajectory,
+    tolerance: float = DEFAULT_TOLERANCE,
+    memory_tolerance: float = DEFAULT_MEMORY_TOLERANCE,
+) -> RegressionVerdict:
     """Newest entry vs same-fingerprint trajectory median, under tolerance.
 
     * No entries → fail (an empty trajectory means the recorder never
@@ -198,7 +238,9 @@ def check_regression(trajectory: BenchTrajectory,
       noting the entry only seeds the trajectory.
     * Otherwise fail when the primary metric regressed by more than
       ``tolerance`` relative to the median (direction per
-      ``higher_is_better``).
+      ``higher_is_better``), or when the entry's
+      :data:`MEMORY_METRIC` column (always lower-is-better) grew past
+      ``memory_tolerance`` over its own history median.
     """
     entry = trajectory.latest
     if entry is None:
@@ -230,5 +272,10 @@ def check_regression(trajectory: BenchTrajectory,
         return RegressionVerdict(
             name=trajectory.name, ok=False, latest=value, baseline=baseline,
             detail=f"REGRESSION: {detail} — {direction} the limit")
+    memory_failure = _check_memory(trajectory, entry, memory_tolerance)
+    if memory_failure is not None:
+        return RegressionVerdict(
+            name=trajectory.name, ok=False, latest=value, baseline=baseline,
+            detail=f"{memory_failure} (time leg ok: {detail})")
     return RegressionVerdict(name=trajectory.name, ok=True, latest=value,
                              baseline=baseline, detail=detail)

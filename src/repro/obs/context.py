@@ -24,6 +24,7 @@ from typing import Callable, Iterator, Optional, Union
 from repro.obs.events import NULL_EVENT_BUS, EventBus, NullEventBus
 from repro.obs.logging import LogManager, NullLogManager
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, NullProfiler, SamplingProfiler
 from repro.obs.tracing import NullTracer, Tracer
 
 
@@ -81,6 +82,7 @@ class Observability:
         logs: Union[LogManager, NullLogManager],
         enabled: bool = True,
         events: Union[EventBus, NullEventBus] = NULL_EVENT_BUS,
+        profiler: Union[SamplingProfiler, NullProfiler] = NULL_PROFILER,
     ):
         self.metrics = metrics
         self.tracer = tracer
@@ -89,6 +91,10 @@ class Observability:
         #: The live event stream (``NULL_EVENT_BUS`` unless installed);
         #: see :mod:`repro.obs.events`.
         self.events = events
+        #: The sampling profiler (``NULL_PROFILER`` unless installed);
+        #: see :mod:`repro.obs.profile`.  Also the merge target for
+        #: fleet workers' :class:`~repro.obs.profile.Profile` payloads.
+        self.profiler = profiler
 
     def logger(self, subsystem: str):
         return self.logs.logger(subsystem)
@@ -141,6 +147,7 @@ def enable_observability(
     log_stream=None,
     install: bool = False,
     events: Optional[Union[EventBus, NullEventBus]] = None,
+    profiler: Optional[Union[SamplingProfiler, NullProfiler]] = None,
 ) -> Observability:
     """Build a live context (real registry, tracer, env-configured logs).
 
@@ -149,7 +156,12 @@ def enable_observability(
     ``Simulator``, the ``Lan`` — starts reporting immediately.  Pass an
     :class:`~repro.obs.events.EventBus` as ``events`` (e.g. from
     :func:`~repro.obs.events.open_event_stream`) to attach the live
-    NDJSON event stream.
+    NDJSON event stream.  Pass a
+    :class:`~repro.obs.profile.SamplingProfiler` as ``profiler`` to
+    attach continuous profiling; the profiler is bound to the new
+    tracer, but starting it (and installing a
+    :class:`~repro.obs.profile.SpanResourceProbe`) stays with the
+    caller.
     """
     obs = Observability(
         metrics=MetricsRegistry(),
@@ -158,7 +170,10 @@ def enable_observability(
                                  stream=log_stream),
         enabled=True,
         events=events if events is not None else NULL_EVENT_BUS,
+        profiler=profiler if profiler is not None else NULL_PROFILER,
     )
+    if profiler is not None and profiler.enabled:
+        profiler.bind(obs.tracer)
     if install:
         set_obs(obs)
     return obs

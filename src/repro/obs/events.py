@@ -47,20 +47,25 @@ HEARTBEAT_MIN_INTERVAL = float(os.environ.get("REPRO_HEARTBEAT_SECONDS", "1.0"))
 
 
 def process_stats() -> Dict[str, float]:
-    """Best-effort RSS/CPU of the current process.
+    """Best-effort RSS (current + peak) and CPU of the current process.
 
-    Reads ``/proc/self/status`` (``VmRSS``) and ``/proc/self/stat``
-    (utime+stime) on Linux; falls back to ``resource.getrusage``
-    elsewhere.  Always returns both keys (0.0 when unknowable).
+    Reads ``/proc/self/status`` (``VmRSS`` current, ``VmHWM`` peak) and
+    ``/proc/self/stat`` (utime+stime) on Linux; falls back to
+    ``resource.getrusage`` elsewhere.  ``ru_maxrss`` is a *peak*, so the
+    fallback reports it as ``rss_peak_bytes`` — never as the current
+    ``rss_bytes``, which stays 0.0 when unknowable.  Always returns all
+    three keys.
     """
     rss_bytes = 0.0
+    rss_peak_bytes = 0.0
     cpu_seconds = 0.0
     try:
         with open("/proc/self/status", "r", encoding="ascii") as handle:
             for line in handle:
                 if line.startswith("VmRSS:"):
                     rss_bytes = float(line.split()[1]) * 1024.0
-                    break
+                elif line.startswith("VmHWM:"):
+                    rss_peak_bytes = float(line.split()[1]) * 1024.0
         with open("/proc/self/stat", "r", encoding="ascii") as handle:
             # Field 2 is ``(comm)`` and may contain spaces; split after
             # the closing paren.  utime/stime are fields 14/15 (1-based).
@@ -72,11 +77,14 @@ def process_stats() -> Dict[str, float]:
             import resource
 
             usage = resource.getrusage(resource.RUSAGE_SELF)
-            rss_bytes = float(usage.ru_maxrss) * 1024.0
+            # ru_maxrss is kilobytes on Linux, bytes on macOS.
+            scale = 1.0 if sys.platform == "darwin" else 1024.0
+            rss_peak_bytes = float(usage.ru_maxrss) * scale
             cpu_seconds = usage.ru_utime + usage.ru_stime
         except Exception:  # pragma: no cover - platform without resource
             pass
-    return {"rss_bytes": rss_bytes, "cpu_seconds": cpu_seconds}
+    return {"rss_bytes": rss_bytes, "rss_peak_bytes": rss_peak_bytes,
+            "cpu_seconds": cpu_seconds}
 
 
 class EventBus:
@@ -100,6 +108,10 @@ class EventBus:
         self._lock = threading.Lock()
         self._last_heartbeat = 0.0
         self.closed = False
+        #: Filesystem path behind the sink, when there is one — set by
+        #: :func:`open_event_stream` so the fleet can hand the same
+        #: NDJSON file to worker processes (append mode).
+        self.path: Optional[str] = None
 
     def subscribe(self, callback: Callable[[Dict[str, object]], None]) -> None:
         """Register an in-process consumer; called with each record."""
@@ -132,12 +144,15 @@ class EventBus:
     def heartbeat(self, **fields: object) -> Optional[Dict[str, object]]:
         """A throttled liveness record with process RSS/CPU attached.
 
-        Returns ``None`` when suppressed by the minimum interval.
+        Returns ``None`` when suppressed by the minimum interval.  The
+        throttle check-and-update runs under the bus lock so concurrent
+        emitters cannot both pass the interval gate.
         """
         now = self._clock()
-        if now - self._last_heartbeat < HEARTBEAT_MIN_INTERVAL:
-            return None
-        self._last_heartbeat = now
+        with self._lock:
+            if now - self._last_heartbeat < HEARTBEAT_MIN_INTERVAL:
+                return None
+            self._last_heartbeat = now
         stats = process_stats()
         stats.update(fields)
         return self.emit("heartbeat", **stats)
@@ -181,16 +196,30 @@ class NullEventBus:
 NULL_EVENT_BUS = NullEventBus()
 
 
-def open_event_stream(path: Optional[str]) -> EventBus:
+def open_event_stream(path: Optional[str], append: bool = False) -> EventBus:
     """An :class:`EventBus` writing NDJSON to ``path``.
 
     ``"-"`` streams to stderr (shared with logs — records are
     line-atomic, so the interleaving stays parseable); any other path
     is opened for writing and owned (closed) by the bus.  ``None``
     yields a sink-less bus: records still reach subscribers.
+
+    ``append=True`` opens the file in append mode — how fleet *worker*
+    processes join the parent's stream: each flushed line is one small
+    ``O_APPEND`` write, so lines from different pids interleave whole.
+    ``seq`` is per-bus (restarts in each worker); order records across
+    processes by ``wall`` + ``pid``, not ``seq``.
     """
     if path is None:
         return EventBus()
     if path == "-":
         return EventBus(sink=sys.stderr, owns_sink=False)
-    return EventBus(sink=open(path, "w", encoding="utf-8"), owns_sink=True)
+    if not append:
+        # Truncate, then reopen with O_APPEND: the parent's own writes
+        # must also be append-positioned, or a worker's appended lines
+        # would sit past the parent's file offset and be overwritten by
+        # the parent's next record.
+        open(path, "w", encoding="utf-8").close()
+    bus = EventBus(sink=open(path, "a", encoding="utf-8"), owns_sink=True)
+    bus.path = path
+    return bus

@@ -14,6 +14,12 @@ served from the shard cache are applied with
 ``extra_labels={"from_cache": "true"}`` so replayed telemetry stays
 distinguishable from freshly computed work while keeping counter totals
 exact.
+
+When the worker ran with profiling on, its sampled
+:class:`~repro.obs.profile.Profile` travels under the optional
+``"profile"`` key and merges additively into the parent's profiler —
+absent entirely on unprofiled runs, so their snapshot bytes are
+unchanged from pre-profiling builds.
 """
 
 from __future__ import annotations
@@ -42,6 +48,10 @@ class ObsSnapshot:
     decode_errors: Dict[str, int] = field(default_factory=dict)
     #: ``kind -> count`` from the fault injector.
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Optional :meth:`repro.obs.profile.Profile.to_dict` payload; absent
+    #: (and absent from :meth:`to_dict`) when the run was unprofiled, so
+    #: unprofiled snapshot bytes never change.
+    profile: Optional[Dict[str, object]] = None
     schema: int = SCHEMA_VERSION
 
     @classmethod
@@ -57,16 +67,20 @@ class ObsSnapshot:
             spans=obs.tracer.export_spans(),
             decode_errors=dict(decode_errors or {}),
             fault_counts=dict(fault_counts or {}),
+            profile=obs.profiler.snapshot(),
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "schema": self.schema,
             "metrics": self.metrics,
             "spans": self.spans,
             "decode_errors": self.decode_errors,
             "fault_counts": self.fault_counts,
         }
+        if self.profile is not None:
+            out["profile"] = self.profile
+        return out
 
     @classmethod
     def from_dict(cls, raw: Mapping[str, object]) -> "ObsSnapshot":
@@ -76,18 +90,20 @@ class ObsSnapshot:
         if schema != SCHEMA_VERSION:
             raise ObsSnapshotError(
                 f"snapshot schema {schema!r} != supported {SCHEMA_VERSION}")
+        profile = raw.get("profile")
         return cls(
             metrics=dict(raw.get("metrics", {})),
             spans=list(raw.get("spans", [])),
             decode_errors=dict(raw.get("decode_errors", {})),
             fault_counts=dict(raw.get("fault_counts", {})),
+            profile=dict(profile) if profile is not None else None,
             schema=int(schema),
         )
 
     @property
     def is_empty(self) -> bool:
-        return not (self.metrics or self.spans
-                    or self.decode_errors or self.fault_counts)
+        return not (self.metrics or self.spans or self.decode_errors
+                    or self.fault_counts or self.profile)
 
     def apply(
         self,
@@ -105,7 +121,10 @@ class ObsSnapshot:
         * decode-error and fault tallies re-count into the standard
           ``capture_decode_quarantined_total{reason}`` /
           ``faults_injected_total{kind}`` counters so a merged run's
-          chaos accounting covers the workers.
+          chaos accounting covers the workers;
+        * the worker's sampled profile (when present) adds into the
+          parent's profiler — sample counts are plain sums, so the merge
+          is associative/commutative and shard order cannot change it.
         """
         if not obs.enabled:
             return
@@ -115,6 +134,10 @@ class ObsSnapshot:
         if self.spans:
             obs.tracer.absorb(self.spans, parent=span_parent,
                               extra_attrs=span_attrs)
+        if self.profile:
+            profiler = getattr(obs, "profiler", None)
+            if profiler is not None and profiler.enabled:
+                profiler.merge(self.profile)
         labels = dict(extra_labels or {})
         for reason, count in sorted(self.decode_errors.items()):
             obs.metrics.counter(

@@ -118,6 +118,15 @@ class Tracer:
         self.roots: List[Span] = []
         self._local = threading.local()
         self._roots_lock = threading.Lock()
+        #: thread ident -> that thread's open-span stack (the same list
+        #: object as its ``_local.stack``); lets the sampling profiler
+        #: attribute another thread's samples to its innermost span.
+        self._thread_stacks: Dict[int, List[Span]] = {}
+        #: Optional per-span resource accounting hook (see
+        #: :class:`repro.obs.profile.SpanResourceProbe`); ``None`` — the
+        #: default — leaves span entry/exit byte-identical to an
+        #: unprofiled build.
+        self.resource_probe = None
 
     def set_sim_clock(self, sim_clock: Optional[Callable[[], float]]) -> None:
         """Late-bind the simulated clock (the Simulator is often built
@@ -132,6 +141,7 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            self._thread_stacks[threading.get_ident()] = stack
         return stack
 
     @property
@@ -139,6 +149,20 @@ class Tracer:
         """The innermost open span *on the calling thread*."""
         stack = self._stack
         return stack[-1] if stack else None
+
+    def active_span_name(self, thread_id: int) -> Optional[str]:
+        """The innermost open span's name on ``thread_id``, or ``None``.
+
+        Called from the profiler's sampler thread; reading another
+        thread's stack is a GIL-atomic list peek, never a mutation.
+        """
+        stack = self._thread_stacks.get(thread_id)
+        if not stack:
+            return None
+        try:
+            return stack[-1].name
+        except IndexError:  # pragma: no cover - popped between checks
+            return None
 
     @contextmanager
     def span(self, name: str, _parent: Optional[Span] = None,
@@ -157,6 +181,8 @@ class Tracer:
             parent.children.append(record)  # list.append is atomic (GIL)
         stack = self._stack
         stack.append(record)
+        probe = self.resource_probe
+        token = probe.enter() if probe is not None else None
         try:
             yield record
         except BaseException:
@@ -171,6 +197,11 @@ class Tracer:
             if record.sim_start is None and record.sim_end is not None:
                 record.sim_start = record.sim_end
             record.wall_end = self._wall_clock()
+            if token is not None:
+                try:
+                    probe.exit(token, record)
+                except Exception:  # noqa: BLE001 - accounting never kills work
+                    pass
             stack.pop()
 
     # -- queries ------------------------------------------------------------------
@@ -278,12 +309,16 @@ class NullTracer:
 
     enabled = False
     roots: List[Span] = []
+    resource_probe = None
 
     @contextmanager
     def span(self, name: str, **attrs: object) -> Iterator[NullSpan]:
         yield _NULL_SPAN
 
     def set_sim_clock(self, sim_clock) -> None:
+        return None
+
+    def active_span_name(self, thread_id: int) -> None:
         return None
 
     @property

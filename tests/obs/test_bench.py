@@ -7,6 +7,7 @@ import pytest
 from repro.obs.bench import (
     BenchEntry,
     BenchTrajectory,
+    MEMORY_METRIC,
     SCHEMA_VERSION,
     check_regression,
     env_fingerprint,
@@ -111,6 +112,51 @@ class TestRegressionGate:
         trajectory = _trajectory(1.0)
         trajectory.primary_metric = "elsewhere"
         assert not check_regression(trajectory).ok
+
+
+class TestMemoryGate:
+    def _with_memory(self, *rss_values, pps=100.0):
+        trajectory = _trajectory(*([pps] * len(rss_values)))
+        for entry, rss in zip(trajectory.entries, rss_values):
+            if rss is not None:
+                entry.metrics[MEMORY_METRIC] = float(rss)
+        return trajectory
+
+    def test_memory_growth_within_tolerance_passes(self):
+        # median 1000; 1400 < 1000 * 1.5
+        verdict = check_regression(self._with_memory(1000.0, 1000.0, 1400.0))
+        assert verdict.ok
+
+    def test_memory_growth_beyond_tolerance_fails(self):
+        verdict = check_regression(self._with_memory(1000.0, 1000.0, 1600.0))
+        assert not verdict.ok
+        assert "MEMORY REGRESSION" in verdict.detail
+        assert "time leg ok" in verdict.detail
+
+    def test_memory_shrink_always_passes(self):
+        # Lower-is-better: halving the peak is a win, not a regression.
+        verdict = check_regression(self._with_memory(1000.0, 1000.0, 100.0))
+        assert verdict.ok
+
+    def test_pre_column_history_is_skipped(self):
+        # Entries recorded before the column existed must not fail it.
+        verdict = check_regression(self._with_memory(None, None, 1600.0))
+        assert verdict.ok
+
+    def test_entry_without_column_is_skipped(self):
+        verdict = check_regression(self._with_memory(1000.0, 1000.0, None))
+        assert verdict.ok
+
+    def test_memory_leg_only_runs_after_time_leg_passes(self):
+        trajectory = self._with_memory(1000.0, 1000.0, 9000.0)
+        trajectory.entries[-1].metrics["pps"] = 10.0  # time leg fails first
+        verdict = check_regression(trajectory)
+        assert not verdict.ok
+        assert "MEMORY" not in verdict.detail
+
+    def test_custom_memory_tolerance(self):
+        trajectory = self._with_memory(1000.0, 1000.0, 1400.0)
+        assert not check_regression(trajectory, memory_tolerance=0.1).ok
 
 
 class TestCheckerScript:

@@ -2,6 +2,7 @@
 
 import io
 import json
+import threading
 
 import pytest
 
@@ -57,8 +58,11 @@ class TestEventBus:
         sink = io.StringIO()
         EventBus(sink).heartbeat(kind="study")
         record = _records(sink)[0]
-        # /proc-backed fields; at minimum RSS must be present on Linux.
-        assert "rss_bytes" in record or "cpu_seconds" in record
+        # Current and peak RSS are distinct fields on every platform
+        # path (the getrusage fallback only knows the peak).
+        assert "rss_bytes" in record
+        assert "rss_peak_bytes" in record
+        assert "cpu_seconds" in record
 
     def test_sink_error_disables_sink_not_bus(self):
         class Broken(io.StringIO):
@@ -79,6 +83,85 @@ class TestEventBus:
         bus.close()
         bus.close()
         assert not sink.closed  # not owned, so left open
+
+
+class TestEventBusConcurrency:
+    """The bus under concurrent emitters: the fleet's completion
+    callbacks and the pipeline's analysis fan-out share one bus."""
+
+    THREADS = 8
+    PER_THREAD = 50
+
+    def _hammer(self, work):
+        threads = [threading.Thread(target=work, args=(index,))
+                   for index in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_seq_is_strictly_monotonic_across_threads(self):
+        sink = io.StringIO()
+        bus = EventBus(sink)
+
+        def work(index):
+            for tick in range(self.PER_THREAD):
+                bus.emit("tick", worker=index, tick=tick)
+
+        self._hammer(work)
+        seqs = [r["seq"] for r in _records(sink)]
+        assert len(seqs) == self.THREADS * self.PER_THREAD
+        # Not merely unique: every value 1..N was assigned exactly once.
+        assert sorted(seqs) == list(range(1, len(seqs) + 1))
+
+    def test_every_line_is_one_well_formed_record(self):
+        sink = io.StringIO()
+        bus = EventBus(sink)
+
+        def work(index):
+            for tick in range(self.PER_THREAD):
+                bus.emit("tick", worker=index, payload="x" * 50)
+
+        self._hammer(work)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == self.THREADS * self.PER_THREAD
+        for line in lines:
+            record = json.loads(line)  # raises on an interleaved write
+            assert record["event"] == "tick"
+            assert record["v"] == SCHEMA_VERSION
+            assert record["payload"] == "x" * 50
+
+    def test_concurrent_heartbeats_fire_exactly_once_per_interval(self):
+        now = [50.0]
+        sink = io.StringIO()
+        bus = EventBus(sink, clock=lambda: now[0])
+
+        def work(index):
+            bus.heartbeat(kind="worker", worker=index)
+
+        self._hammer(work)           # same instant: exactly one passes
+        now[0] = 100.0
+        self._hammer(work)           # next interval: exactly one more
+        beats = [r for r in _records(sink) if r["event"] == "heartbeat"]
+        assert len(beats) == 2
+
+    def test_subscribers_receive_every_concurrent_record(self):
+        seen = []
+        lock = threading.Lock()
+        bus = EventBus(None)
+
+        def collect(record):
+            with lock:
+                seen.append(record)
+
+        bus.subscribe(collect)
+
+        def work(index):
+            for _ in range(self.PER_THREAD):
+                bus.emit("tick", worker=index)
+
+        self._hammer(work)
+        assert len(seen) == self.THREADS * self.PER_THREAD
 
 
 class TestNullEventBus:
@@ -113,6 +196,32 @@ class TestOpenEventStream:
         assert len(lines) == 2
         assert json.loads(lines[1])["event"] == "run_end"
 
+    def test_file_bus_exposes_its_path(self, tmp_path):
+        target = tmp_path / "events.ndjson"
+        bus = open_event_stream(str(target))
+        assert bus.path == str(target)
+        bus.close()
+        assert open_event_stream(None).path is None
+        dash = open_event_stream("-")
+        assert dash.path is None  # stderr has no shareable path
+
+    def test_fresh_open_truncates_but_append_joins(self, tmp_path):
+        target = tmp_path / "events.ndjson"
+        first = open_event_stream(str(target))
+        first.emit("old_run")
+        first.close()
+        parent = open_event_stream(str(target))       # truncates
+        parent.emit("run_start")
+        worker = open_event_stream(str(target), append=True)
+        worker.emit("heartbeat", kind="worker", shard=0)
+        worker.close()
+        parent.emit("run_end")                        # must not clobber
+        parent.close()
+        events = [json.loads(line)["event"]
+                  for line in target.read_text().splitlines()]
+        assert "old_run" not in events
+        assert sorted(events) == ["heartbeat", "run_end", "run_start"]
+
 
 class TestProcessStats:
     def test_returns_numeric_fields(self):
@@ -120,3 +229,29 @@ class TestProcessStats:
         assert stats  # Linux container: /proc/self must be readable
         for value in stats.values():
             assert isinstance(value, (int, float))
+
+    def test_reports_current_and_peak_rss_separately(self):
+        stats = process_stats()
+        assert set(stats) == {"rss_bytes", "rss_peak_bytes", "cpu_seconds"}
+        # On the Linux path both are live; the peak can never be below
+        # the current reading when both are known.
+        if stats["rss_bytes"] and stats["rss_peak_bytes"]:
+            assert stats["rss_peak_bytes"] >= stats["rss_bytes"]
+
+    def test_fallback_path_never_calls_peak_current(self, monkeypatch):
+        import builtins
+
+        real_open = builtins.open
+
+        def no_proc(path, *args, **kwargs):
+            if isinstance(path, str) and path.startswith("/proc/self/"):
+                raise OSError("no /proc on this platform")
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", no_proc)
+        stats = process_stats()
+        # getrusage's ru_maxrss is a *peak*: it must land in
+        # rss_peak_bytes and current rss must stay unknown (0.0).
+        assert stats["rss_bytes"] == 0.0
+        assert stats["rss_peak_bytes"] > 0.0
+        assert stats["cpu_seconds"] > 0.0

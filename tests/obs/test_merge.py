@@ -196,3 +196,38 @@ class TestObsSnapshot:
                             logs=NullLogManager(), enabled=True)
         assert ObsSnapshot.capture(obs).is_empty
         assert not ObsSnapshot.capture(self._worker_obs()).is_empty
+
+    def test_unprofiled_snapshot_bytes_omit_the_profile_key(self):
+        snapshot = ObsSnapshot.capture(self._worker_obs())
+        assert snapshot.profile is None
+        raw = snapshot.to_dict()
+        assert "profile" not in raw
+        assert ObsSnapshot.from_dict(raw).profile is None
+
+    def _profiled_obs(self) -> Observability:
+        from repro.obs.profile import SamplingProfiler
+
+        obs = Observability(metrics=MetricsRegistry(), tracer=Tracer(),
+                            logs=NullLogManager(), enabled=True,
+                            profiler=SamplingProfiler(hz=97.0))
+        obs.profiler.profile.record("work", ["a.py:f", "a.py:g"])
+        with obs.tracer.span("work"):
+            pass
+        return obs
+
+    def test_profiled_snapshot_round_trips_and_merges(self):
+        snapshot = ObsSnapshot.capture(self._profiled_obs())
+        raw = snapshot.to_dict()
+        assert raw["profile"]["samples"]["work"]["a.py:f;a.py:g"] == 1
+        rebuilt = ObsSnapshot.from_dict(raw)
+        assert not rebuilt.is_empty
+        parent = self._profiled_obs()
+        rebuilt.apply(parent)
+        assert parent.profiler.profile.samples["work"]["a.py:f;a.py:g"] == 2
+
+    def test_profile_apply_skips_disabled_parent_profiler(self):
+        snapshot = ObsSnapshot.capture(self._profiled_obs())
+        parent = Observability(metrics=MetricsRegistry(), tracer=Tracer(),
+                               logs=NullLogManager(), enabled=True)
+        snapshot.apply(parent)  # NULL_PROFILER target: ignored, no crash
+        assert parent.profiler.snapshot() is None

@@ -164,6 +164,66 @@ class TestStudyObservability:
         assert "stage=build" in err
 
 
+class TestProfileFlags:
+    """`--profile-out` / `--profile-hz` on study and fleet."""
+
+    TINY = ["--duration", "30", "--apps", "2"]
+
+    def test_profile_flags_parse_on_both_subcommands(self):
+        for command in ("study", "fleet"):
+            args = build_parser().parse_args(
+                [command, "--profile-out", "prof", "--profile-hz", "50"])
+            assert args.profile_out == "prof"
+            assert args.profile_hz == 50.0
+
+    def test_profile_hz_requires_profile_out(self, capsys):
+        assert main(["study", "--profile-hz", "50"] + self.TINY) == 2
+        assert "--profile-out" in capsys.readouterr().err
+
+    def test_non_positive_profile_hz_exits_2(self, tmp_path, capsys):
+        out = str(tmp_path / "prof")
+        assert main(["study", "--profile-out", out,
+                     "--profile-hz", "-5"] + self.TINY) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_profile_out_under_missing_dir_fails_before_run(
+            self, tmp_path, capsys):
+        bad = str(tmp_path / "no" / "such" / "prof")
+        assert main(["study", "--profile-out", bad] + self.TINY) == 2
+        assert "--profile-out" in capsys.readouterr().err
+
+    def test_study_profile_out_writes_all_three_artifacts(
+            self, tmp_path, capsys):
+        import json
+
+        from repro.obs.profile import (
+            FLAMEGRAPH_NAME, RESOURCES_NAME, SPEEDSCOPE_NAME)
+
+        out = tmp_path / "prof"
+        code = main(["study", "--profile-out", str(out),
+                     "--profile-hz", "211"] + self.TINY)
+        assert code == 0
+        assert "profile written to" in capsys.readouterr().err
+        flame = (out / FLAMEGRAPH_NAME).read_text()
+        for line in flame.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+        scope = json.loads((out / SPEEDSCOPE_NAME).read_text())
+        assert scope["$schema"].startswith("https://www.speedscope.app")
+        resources = json.loads((out / RESOURCES_NAME).read_text())
+        assert resources["pipeline.build"]["cpu_seconds"] >= 0.0
+
+    def test_study_stdout_identical_with_and_without_profiling(
+            self, tmp_path, capsys):
+        """The overhead contract's visible half: profiling must not
+        change what the study computes or prints."""
+        assert main(["study"] + self.TINY) == 0
+        plain = capsys.readouterr().out
+        out = str(tmp_path / "prof")
+        assert main(["study", "--profile-out", out] + self.TINY) == 0
+        assert capsys.readouterr().out == plain
+
+
 class TestCapture:
     def test_writes_pcaps(self, tmp_path, capsys):
         assert main(["capture", str(tmp_path), "--duration", "30"]) == 0

@@ -85,9 +85,21 @@ def _run_fleet(options) -> dict:
 
 
 def record(name: str, options) -> BenchTrajectory:
-    """Run benchmark ``name`` and append the entry to its trajectory."""
+    """Run benchmark ``name`` and append the entry to its trajectory.
+
+    Every entry also carries resource columns — ``rss_peak_bytes`` and
+    ``cpu_seconds`` from :func:`repro.obs.events.process_stats` — so the
+    trajectory tracks memory alongside throughput;
+    ``check_bench_regression`` gates the memory column at its own
+    (looser) tolerance.
+    """
+    from repro.obs.events import process_stats
+
     filename, primary_metric, runner = BENCHMARKS[name]
     metrics = runner(options)
+    stats = process_stats()
+    metrics.setdefault("rss_peak_bytes", stats["rss_peak_bytes"])
+    metrics.setdefault("cpu_seconds", stats["cpu_seconds"])
     trajectory = BenchTrajectory.load(
         REPO_ROOT / filename, name=name, primary_metric=primary_metric)
     # Pin identity fields on first write; later runs must agree.

@@ -11,8 +11,11 @@ fingerprint**, failing on a regression beyond the tolerance
 
 An entry with no same-fingerprint history passes with a note (it seeds
 the trajectory for that machine); an *empty or missing* trajectory
-fails — the recorder must have run.  Exit 0 when every trajectory is
-clean, 1 otherwise, listing each verdict either way.
+fails — the recorder must have run.  Entries also carry a
+``rss_peak_bytes`` column, gated lower-is-better at its own (looser)
+``--mem-tolerance``; entries recorded before the column existed are
+skipped by that leg.  Exit 0 when every trajectory is clean, 1
+otherwise, listing each verdict either way.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.obs.bench import (  # noqa: E402
+    DEFAULT_MEMORY_TOLERANCE,
     DEFAULT_TOLERANCE,
     BenchTrajectory,
     check_regression,
@@ -43,6 +47,11 @@ def main(argv=None) -> int:
                              f"(default: {' '.join(DEFAULT_FILES)})")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed relative regression (default %(default)s)")
+    parser.add_argument("--mem-tolerance", type=float,
+                        default=DEFAULT_MEMORY_TOLERANCE,
+                        help="allowed relative rss_peak_bytes growth "
+                             "(default %(default)s; entries without the "
+                             "column are skipped)")
     options = parser.parse_args(argv)
 
     paths = [Path(name) if Path(name).is_absolute() else REPO_ROOT / name
@@ -60,7 +69,8 @@ def main(argv=None) -> int:
             print(f"FAIL {label}: {error}")
             failures += 1
             continue
-        verdict = check_regression(trajectory, tolerance=options.tolerance)
+        verdict = check_regression(trajectory, tolerance=options.tolerance,
+                                   memory_tolerance=options.mem_tolerance)
         status = "ok  " if verdict.ok else "FAIL"
         print(f"{status} {label}: {verdict.detail}")
         failures += 0 if verdict.ok else 1

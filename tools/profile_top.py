@@ -1,0 +1,129 @@
+"""Top-N hot-frame summary of a ``--profile-out`` flamegraph.
+
+Reads the collapsed-stack ``flame.txt`` a profiled run wrote (or the
+``--profile-out`` directory containing it) and prints the hottest
+frames — self samples, inclusive samples, and share of the total — as
+one table per span (pipeline stage / analysis / fleet worker), plus an
+all-spans aggregate::
+
+    PYTHONPATH=src python tools/profile_top.py /tmp/profile
+    PYTHONPATH=src python tools/profile_top.py /tmp/profile/flame.txt --top 5
+    PYTHONPATH=src python tools/profile_top.py /tmp/profile --span analysis.exposure
+
+*self* counts a frame when it was the sampled leaf (the code actually
+on-CPU); *inclusive* counts it anywhere on the stack.  The input format
+is one ``span;root;...;leaf count`` line per sampled stack — exactly
+what ``flamegraph.pl`` / ``inferno`` consume, so this tool needs no
+artifacts beyond the flamegraph itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.profile import FLAMEGRAPH_NAME, Profile  # noqa: E402
+
+
+def load_collapsed(path: Path) -> Profile:
+    """Rebuild a :class:`Profile` from collapsed-stack text.
+
+    Accepts the ``flame.txt`` file or a directory containing one.
+    Malformed lines (no count, empty stack) are skipped rather than
+    fatal: a truncated flamegraph should still summarize.
+    """
+    if path.is_dir():
+        path = path / FLAMEGRAPH_NAME
+    profile = Profile()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            stack_part, _, count_part = line.rpartition(" ")
+            if not stack_part:
+                continue
+            try:
+                count = int(count_part)
+            except ValueError:
+                continue
+            span, _, frames = stack_part.partition(";")
+            if not frames:
+                continue
+            bucket = profile.samples.setdefault(span, {})
+            bucket[frames] = bucket.get(frames, 0) + count
+    return profile
+
+
+def render_top(profile: Profile, span=None, top: int = 10) -> str:
+    """One aligned top-N table for ``span`` (``None`` = all spans)."""
+    rows = profile.top_frames(span=span, top=top)
+    total = (profile.span_sample_counts().get(span, 0) if span is not None
+             else profile.total_samples)
+    title = f"span: {span}" if span is not None else "all spans"
+    lines = [f"{title} — {total} samples"]
+    if not rows:
+        lines.append("  (no samples)")
+        return "\n".join(lines)
+    width = max(len(frame) for frame, _, _ in rows)
+    lines.append(f"  {'frame'.ljust(width)}  {'self':>6}  {'incl':>6}  {'self%':>6}")
+    for frame, self_count, incl_count in rows:
+        share = self_count / total if total else 0.0
+        lines.append(f"  {frame.ljust(width)}  {self_count:>6}  "
+                     f"{incl_count:>6}  {share:>6.1%}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="profile_top", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("path",
+                        help="flame.txt, or a --profile-out directory")
+    parser.add_argument("--top", type=int, default=10,
+                        help="frames per table (default %(default)s)")
+    parser.add_argument("--span", default=None,
+                        help="only this span (default: every span plus "
+                             "the all-spans aggregate)")
+    options = parser.parse_args(argv)
+
+    path = Path(options.path)
+    try:
+        profile = load_collapsed(path)
+    except OSError as error:
+        print(f"profile_top: error: {error}", file=sys.stderr)
+        return 1
+    if not profile.samples:
+        print("profile_top: no samples "
+              f"(empty or unreadable flamegraph: {options.path})",
+              file=sys.stderr)
+        return 1
+    if options.span is not None:
+        if options.span not in profile.samples:
+            known = ", ".join(sorted(profile.samples))
+            print(f"profile_top: error: unknown span {options.span!r} "
+                  f"(known: {known})", file=sys.stderr)
+            return 1
+        print(render_top(profile, span=options.span, top=options.top))
+        return 0
+    print(render_top(profile, span=None, top=options.top))
+    for span in sorted(profile.samples):
+        print()
+        print(render_top(profile, span=span, top=options.top))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Piped into head/a pager that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        raise SystemExit(0)
