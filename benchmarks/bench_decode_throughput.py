@@ -1,12 +1,14 @@
-"""Decode throughput: serial vs chunked-parallel, cold vs cached.
+"""Decode throughput: columnar ingest vs materialized decode.
 
-The tentpole perf claim of the decode-once capture layer, measured
-directly: how many packets/second the frame decoder sustains when the
-backlog is decoded serially, when it fans out over the thread pool in
-order-preserving chunks, and when the memoized cache answers instead of
-re-decoding.  Timings land in ``STAGE_TIMINGS`` (attached to the bench
-JSON under ``stage_timings``) so the decode trajectory is tracked next
-to the pipeline stages.
+The tentpole perf claim of the columnar capture store, measured
+directly: how many packets/second the store sustains on a cold
+ingest+index scan (the primary ``packets_per_second`` metric — what the
+pipeline pays before analyses start), on a raw columnar ingest
+(``columnar_packets_per_second``), and when the backlog materializes to
+full ``DecodedPacket`` objects serially, via the thread pool in
+order-preserving chunks, or from the memoized cache.  Timings land in
+``STAGE_TIMINGS`` (attached to the bench JSON under ``stage_timings``)
+so the decode trajectory is tracked next to the pipeline stages.
 
 Also runnable standalone as the CI perf smoke::
 
@@ -90,6 +92,20 @@ def bench_decode_cached(benchmark, lab_run, stage_timings):
     assert again is first  # same list object, zero re-decode
 
 
+def bench_columnar_index_cold(benchmark, lab_run, stage_timings):
+    """Cold columnar ingest + zero-copy index build (the primary metric)."""
+    testbed, _, _ = lab_run
+    records = list(testbed.lan.capture.records)
+
+    def cold():
+        return _feed(ApCapture(parallel_threshold=0), records).index()
+
+    started = time.perf_counter()
+    index = benchmark.pedantic(cold, rounds=1, iterations=1)
+    stage_timings["columnar_index_cold"] = time.perf_counter() - started
+    assert len(index) == len(records)
+
+
 def bench_capture_index_cached(benchmark, lab_run, lab_index, stage_timings):
     """Index retrieval after the session fixture built it: cache hit."""
     testbed, _, _ = lab_run
@@ -104,20 +120,41 @@ def bench_capture_index_cached(benchmark, lab_run, lab_index, stage_timings):
 
 
 def run_smoke(duration: float = 300.0, seed: int = 7) -> dict:
-    """Small-capture smoke: cached decode must not be slower than cold.
+    """Small-capture smoke: columnar vs materialized decode contracts.
 
-    Returns the measured numbers; raises ``SystemExit`` on regression.
+    Measures the tentpole legs — cold columnar ingest+index scan (the
+    ``packets_per_second`` primary metric), raw columnar ingest
+    (``columnar_packets_per_second``), full materialization, cached
+    re-read, parallel materialization — and gates the invariants: the
+    cached path returns the identical list, parallel chunking preserves
+    capture order, and the columnar index is equivalent to an eager
+    per-packet decode.  Returns the measured numbers; raises
+    ``SystemExit`` on regression.
     """
     from repro.devices.behaviors import build_testbed
+    from repro.net.columnar import PacketTable
+    from repro.net.decode import decode_records
+    from repro.net.index import CaptureIndex
 
     testbed = build_testbed(seed=seed)
     testbed.run(duration)
     records = list(testbed.lan.capture.records)
 
+    # Raw columnar ingest: one pass building every column + the arena.
+    started = time.perf_counter()
+    table = PacketTable.from_records(records)
+    columnar_seconds = time.perf_counter() - started
+
+    # The primary metric: cold ingest + zero-copy index build — what the
+    # pipeline actually pays before the analyses start scanning.
     cold_capture = _feed(ApCapture(parallel_threshold=0), records)
     started = time.perf_counter()
-    cold_packets = cold_capture.decoded()
+    cold_index = cold_capture.index()
     cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cold_packets = cold_capture.decoded()
+    materialize_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
     cached_packets = cold_capture.decoded()
@@ -128,25 +165,49 @@ def run_smoke(duration: float = 300.0, seed: int = 7) -> dict:
     parallel_packets = parallel_capture.decoded()
     parallel_seconds = time.perf_counter() - started
 
+    # Equivalence gate: the columnar fast path must agree with an eager
+    # per-packet decode, bucket for bucket.
+    eager_index = CaptureIndex(decode_records(records))
+    equivalence_ok = (
+        len(table) == len(records)
+        and cold_index.protocol_counts() == eager_index.protocol_counts()
+        and {mac: len(view) for mac, view in cold_index.by_src_mac.items()}
+        == {mac: len(view) for mac, view in eager_index.by_src_mac.items()}
+        and len(cold_index.arp) == len(eager_index.arp)
+        and len(cold_index.udp) == len(eager_index.udp)
+        and len(cold_index.tcp_payload) == len(eager_index.tcp_payload)
+        and len(cold_index.transport_unicast) == len(eager_index.transport_unicast)
+        and len(cold_index.transport_multicast) == len(eager_index.transport_multicast)
+    )
+
     results = {
         "packets": len(records),
+        "columnar_seconds": columnar_seconds,
         "cold_seconds": cold_seconds,
+        "materialize_seconds": materialize_seconds,
         "cached_seconds": cached_seconds,
         "parallel_seconds": parallel_seconds,
         "cold_pps": len(records) / cold_seconds if cold_seconds else None,
+        "columnar_pps": (
+            len(records) / columnar_seconds if columnar_seconds else None
+        ),
         "cached_not_slower": cached_seconds <= cold_seconds,
         "parallel_order_ok": (
             [p.timestamp for p in parallel_packets]
             == [p.timestamp for p in cold_packets]
         ),
+        "equivalence_ok": equivalence_ok,
     }
     if cached_packets is not cold_packets:
         raise SystemExit("decode cache returned a different object on re-read")
     if not results["parallel_order_ok"]:
         raise SystemExit("parallel chunked decode broke capture order")
+    if not results["equivalence_ok"]:
+        raise SystemExit(
+            "columnar index diverged from the eager per-packet decode")
     if not results["cached_not_slower"]:
         raise SystemExit(
-            f"cached decode slower than cold decode "
+            f"cached decode slower than cold index scan "
             f"({cached_seconds:.6f}s > {cold_seconds:.6f}s)"
         )
     return results

@@ -7,6 +7,8 @@ Installed as the ``repro`` console script::
                        [--profile-out DIR] [--profile-hz HZ] [--log-level LEVEL]
                        [--fault-plan PATH] [--keep-going | --fail-fast]
     repro classify     PCAP [--crossval]
+    repro ingest       PCAP [--device-map JSON] [--chunk-records N]
+                       [--json PATH]
     repro scan         [--seed N]
     repro fingerprint  [--seed N] [--mitigation NAME]
     repro catalog
@@ -19,7 +21,9 @@ Installed as the ``repro`` console script::
 
 ``repro classify`` works on *any* classic-pcap file (including captures
 from a real network), making the classifier pair usable outside the
-simulation.  ``repro fleet`` is the sharded, cached, multi-process
+simulation.  ``repro ingest`` streams an external pcap into the
+columnar packet store in bounded-memory chunks and runs the full §4–§6
+analysis stack over it.  ``repro fleet`` is the sharded, cached, multi-process
 version of the Table 2 crowdsourced analysis; see ``docs/cli.md`` for
 the complete flag reference and ``docs/fleet.md`` for its guarantees.
 """
@@ -329,6 +333,141 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_device_map(path: Optional[str]):
+    """Load ``--device-map`` JSON; returns (macs, vendors, categories, error).
+
+    The file maps MAC string -> device name, or MAC string -> object
+    with ``name`` and optional ``vendor``/``category`` keys.
+    """
+    import json
+
+    if not path:
+        return None, {}, {}, None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return None, {}, {}, f"--device-map: cannot read {path}: {error}"
+    if not isinstance(raw, dict):
+        return None, {}, {}, "--device-map: expected a JSON object"
+    macs, vendors, categories = {}, {}, {}
+    for mac, value in raw.items():
+        key = mac.lower()
+        if isinstance(value, str):
+            macs[key] = value
+        elif isinstance(value, dict) and "name" in value:
+            macs[key] = value["name"]
+            if "vendor" in value:
+                vendors[value["name"]] = value["vendor"]
+            if "category" in value:
+                categories[value["name"]] = value["category"]
+        else:
+            return None, {}, {}, (
+                f"--device-map: entry {mac!r} must be a name string or an "
+                "object with a 'name' key")
+    return macs, vendors, categories, None
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.classify.crossval import cross_validate
+    from repro.core.device_graph import build_device_graph
+    from repro.core.exposure import analyze_exposure
+    from repro.core.periodicity import analyze_periodicity
+    from repro.core.protocol_census import census_from_capture
+    from repro.core.responses import correlate_responses
+    from repro.core.threat_report import build_threat_report
+    from repro.net.ingest import ingest_pcap
+    from repro.report.tables import render_table
+
+    error = _check_output_paths(args)
+    if error:
+        print(f"repro ingest: error: {error}", file=sys.stderr)
+        return 2
+    device_macs, vendors, categories, error = _load_device_map(args.device_map)
+    if error:
+        print(f"repro ingest: error: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = ingest_pcap(args.pcap, chunk_records=args.chunk_records)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot ingest {args.pcap}: {error}", file=sys.stderr)
+        return 1
+    if len(result) == 0:
+        print("error: capture contains no packets", file=sys.stderr)
+        return 1
+    index = result.index
+    if device_macs is None:
+        # No map supplied: every observed source MAC is its own device.
+        device_macs = {mac: mac for mac in index.by_src_mac}
+    census = census_from_capture(index, device_macs)
+    graph = build_device_graph(index, device_macs, vendors)
+    exposure = analyze_exposure(index, device_macs)
+    responses = correlate_responses(index, device_macs, categories)
+    periodicity = analyze_periodicity(index, device_macs)
+    threat = build_threat_report(index, device_macs)
+    crossval = cross_validate(index)
+
+    stats = result.stats
+    counts = index.protocol_counts()
+    print(render_table(
+        ["protocol", "packets", "share"],
+        [(tag, count, f"{count / len(index):.1%}")
+         for tag, count in sorted(counts.items(), key=lambda item: -item[1])],
+        title=(f"{args.pcap}: {stats.packets} packets in {stats.chunks} "
+               f"chunk(s), {stats.quarantined_total} quarantined"),
+    ))
+    summary = graph.summary()
+    print(f"\ndevices: {len(device_macs)} mapped, "
+          f"{summary['devices_communicating']} communicating locally, "
+          f"{summary['device_pairs']} device pairs")
+    print(f"threats: {len(threat.plaintext_http_devices)} plaintext-HTTP "
+          f"device(s), {threat.tls_device_count} local-TLS device(s)")
+    print(f"classifiers: {crossval.total_units} units, "
+          f"{crossval.disagree_fraction:.0%} disagree, "
+          f"{crossval.neither_fraction:.0%} unlabeled")
+    if stats.quarantined:
+        detail = ", ".join(f"{reason}={count}"
+                           for reason, count in sorted(stats.quarantined.items()))
+        print(f"quarantined frames: {detail}")
+    if args.json:
+        payload = {
+            "pcap": args.pcap,
+            "packets": stats.packets,
+            "bytes": stats.bytes,
+            "chunks": stats.chunks,
+            "quarantined": stats.quarantined,
+            "protocol_counts": counts,
+            "census_passive": {label: sorted(devices)
+                               for label, devices in census.passive.items()},
+            "graph_summary": summary,
+            "exposure": {protocol: {kind: sorted(devices)
+                                    for kind, devices in cells.items()}
+                         for protocol, cells in exposure.cells.items()},
+            "responses_by_category": responses.by_category(),
+            "periodicity": {
+                "detections": len(periodicity.detections),
+                "periodic_fraction": periodicity.periodic_fraction,
+            },
+            "threat": {
+                "plaintext_http_devices": sorted(threat.plaintext_http_devices),
+                "http_servers": sorted(threat.http_servers),
+                "tls_devices": sorted(threat.tls_devices),
+            },
+            "crossval": {
+                "total_units": crossval.total_units,
+                "agree": crossval.agree,
+                "disagree": crossval.disagree,
+                "neither": crossval.neither,
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"artifacts written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.devices.behaviors import build_testbed
     from repro.report.tables import render_table
@@ -571,6 +710,21 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--crossval", action="store_true",
                           help="also print the tshark-vs-nDPI comparison")
     classify.set_defaults(func=_cmd_classify)
+
+    ingest = sub.add_parser(
+        "ingest", help="stream an external pcap through the full analysis stack")
+    ingest.add_argument("pcap", help="path to a classic pcap file")
+    ingest.add_argument("--device-map", metavar="JSON", default=None,
+                        help="JSON file mapping MAC -> device name (or an "
+                             "object with name/vendor/category keys); "
+                             "default: each source MAC is its own device")
+    ingest.add_argument("--chunk-records", type=int, metavar="N",
+                        default=8192,
+                        help="pcap records ingested per bounded-memory "
+                             "chunk (default 8192)")
+    ingest.add_argument("--json", metavar="PATH", default=None,
+                        help="write the analysis artifacts as JSON")
+    ingest.set_defaults(func=_cmd_ingest)
 
     scan = sub.add_parser("scan", help="port- and vulnerability-scan the simulated lab")
     scan.add_argument("--seed", type=int, default=7)

@@ -14,6 +14,7 @@ import networkx as nx
 
 from repro.classify.labels import DISCOVERY_LABELS, Label
 from repro.classify.rules import CorrectedClassifier
+from repro.net.columnar import F_UDP, TRANSPORT_UDP
 from repro.net.decode import DecodedPacket
 from repro.net.index import CaptureIndex
 
@@ -89,24 +90,31 @@ def build_device_graph(
     graph = nx.MultiGraph()
     graph.add_nodes_from(device_macs.values())
     seen: Set[Tuple[str, str, str]] = set()
-    for row in index.transport_unicast:
-        src = device_macs.get(row.src)
-        dst = device_macs.get(row.dst)
+    table = index.table
+    src_col, dst_col = table.src_mac, table.dst_mac
+    sport_col, dport_col = table.src_port, table.dst_port
+    flags_col, trans_col = table.flags, table.transport
+    # One device_macs lookup per interned MAC, not per packet.
+    device_of = [device_macs.get(mac) for mac in table.mac_strings]
+    for rid in index.transport_unicast.rids:
+        src = device_of[src_col[rid]]
+        dst = device_of[dst_col[rid]]
         if src is None or dst is None or src == dst:
             continue
         # Discovery responses ride unicast UDP from well-known ports;
         # TCP on the same port numbers (e.g. TPLINK-SHP control on
         # 9999) is a genuine device-to-device conversation and stays.
-        if row.packet.udp is not None and (
-            row.src_port in _DISCOVERY_PORTS or row.dst_port in _DISCOVERY_PORTS
+        if flags_col[rid] & F_UDP and (
+            sport_col[rid] in _DISCOVERY_PORTS or dport_col[rid] in _DISCOVERY_PORTS
         ):
-            label = index.label_of(row, classifier)
+            label = index.label_at(rid, classifier)
             if label in DISCOVERY_LABELS or label is Label.DNS:
                 continue
-        pair = tuple(sorted((src, dst)))
-        key = (pair[0], pair[1], row.transport)
+        pair = (src, dst) if src <= dst else (dst, src)
+        transport = "udp" if trans_col[rid] == TRANSPORT_UDP else "tcp"
+        key = (pair[0], pair[1], transport)
         if key in seen:
             continue
         seen.add(key)
-        graph.add_edge(pair[0], pair[1], transport=row.transport)
+        graph.add_edge(pair[0], pair[1], transport=transport)
     return DeviceGraph(graph=graph, device_vendor=device_vendor)

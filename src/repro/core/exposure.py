@@ -100,27 +100,29 @@ def analyze_exposure(
     """
     index = CaptureIndex.ensure(packets)
     matrix = ExposureMatrix()
-    for row in index.arp:
-        device = device_macs.get(row.src)
+    table = index.table
+    src_col = table.src_mac
+    sport_col, dport_col = table.src_port, table.dst_port
+    device_of = [device_macs.get(mac) for mac in table.mac_strings]
+    for rid in index.arp.rids:
+        device = device_of[src_col[rid]]
         if device is not None:
-            matrix.expose("ARP", "MAC", device, str(row.packet.arp.sender_mac))
-    for row in index.udp:
-        device = device_macs.get(row.src)
+            matrix.expose("ARP", "MAC", device, table.arp_sender_mac(rid))
+    for rid in index.udp.rids:
+        device = device_of[src_col[rid]]
         if device is None:
             continue
-        udp = row.packet.udp
-        payload = udp.payload
-        ports = (udp.src_port, udp.dst_port)
+        ports = (sport_col[rid], dport_col[rid])
         if 67 in ports or 68 in ports:
-            _mine_dhcp(matrix, device, payload)
+            _mine_dhcp(matrix, device, table.app_payload(rid))
         elif 5353 in ports:
-            _mine_mdns(matrix, device, payload)
+            _mine_mdns(matrix, device, table.app_payload(rid))
         elif 1900 in ports:
-            _mine_ssdp(matrix, device, payload)
+            _mine_ssdp(matrix, device, table.app_payload(rid))
         elif 6666 in ports or 6667 in ports:
-            _mine_tuyalp(matrix, device, payload)
+            _mine_tuyalp(matrix, device, table.app_payload(rid))
         elif 9999 in ports:
-            _mine_tplink(matrix, device, payload)
+            _mine_tplink(matrix, device, table.app_payload(rid))
     return matrix
 
 

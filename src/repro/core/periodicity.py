@@ -189,17 +189,24 @@ def analyze_periodicity(
     """
     index = CaptureIndex.ensure(packets)
     groups: Dict[Tuple[str, str, str], List[float]] = defaultdict(list)
-    for row in index.rows:
-        device = device_macs.get(row.src)
+    table = index.table
+    ts_col = table.timestamps
+    src_col, dst_col, dip_col = table.src_mac, table.dst_mac, table.dst_ip
+    mac_strings, ip_strings = table.mac_strings, table.ip_strings
+    device_of = [device_macs.get(mac) for mac in mac_strings]
+    label_at = index.label_at
+    for rid in range(len(table)):
+        device = device_of[src_col[rid]]
         if device is None:
             continue
-        label = index.label_of(row, classifier)
+        label = label_at(rid, classifier)
         if label is None:
             continue
         if discovery_only and label not in DISCOVERY_LABELS:
             continue
-        destination = row.dst_ip or row.dst
-        groups[(device, destination, str(label))].append(row.timestamp)
+        dip = dip_col[rid]
+        destination = ip_strings[dip] if dip >= 0 else mac_strings[dst_col[rid]]
+        groups[(device, destination, str(label))].append(ts_col[rid])
 
     result = PeriodicityResult()
     for (device, destination, protocol), timestamps in groups.items():

@@ -129,13 +129,14 @@ def census_from_capture(
     census = ProtocolCensus(total_devices=total_devices or len(device_macs))
     # The per-device protocol sets are order-insensitive, so this walks
     # the per-src-MAC buckets: one device_macs lookup per MAC instead of
-    # one per packet.
-    for mac, rows in index.by_src_mac.items():
+    # one per packet, and raw row ids instead of row proxies.
+    label_at = index.label_at
+    for mac, view in index.by_src_mac.items():
         device = device_macs.get(mac)
         if device is None:
             continue
-        for row in rows:
-            label = index.label_of(row, classifier)
+        for rid in view.rids:
+            label = label_at(rid, classifier)
             if label is None:
                 continue
             census.passive[str(label)].add(device)

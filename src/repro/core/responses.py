@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.classify.labels import Label
 from repro.classify.rules import CorrectedClassifier
+from repro.net.columnar import F_UNICAST, TRANSPORT_UDP
 from repro.net.decode import DecodedPacket
 from repro.net.index import CaptureIndex
 
@@ -92,18 +93,28 @@ def correlate_responses(
     # label.  The timestamp is stored verbatim (not as a precomputed
     # deadline) so the window check below is exact for responses that
     # share the discovery's timestamp.
+    table = index.table
+    timestamps = table.timestamps
+    src_col, dst_col = table.src_mac, table.dst_mac
+    sport_col, dport_col = table.src_port, table.dst_port
+    trans_col, flags_col = table.transport, table.flags
+    device_of = [device_macs.get(mac) for mac in table.mac_strings]
+
+    def _transport(rid: int) -> str:
+        return "udp" if trans_col[rid] == TRANSPORT_UDP else "tcp"
+
     pending: Dict[Tuple[str, str, int], List[Tuple[float, str]]] = defaultdict(list)
-    for row in index.transport_multicast:
-        src = device_macs.get(row.src)
+    for rid in index.transport_multicast.rids:
+        src = device_of[src_col[rid]]
         if src is None:
             continue
-        label = index.label_of(row, classifier)
+        label = index.label_at(rid, classifier)
         if label not in COUNTED_DISCOVERY:
             continue
         stats = correlation.per_device[src]
         stats.discovery_protocols.add(str(label))
-        pending[(src, row.transport, row.src_port)].append(
-            (row.timestamp, str(label))
+        pending[(src, _transport(rid), sport_col[rid])].append(
+            (timestamps[rid], str(label))
         )
 
     # Extension pass (QM mDNS): multicast responses credited to every
@@ -118,18 +129,18 @@ def correlate_responses(
             for discovered_at, label in entries
             if label == str(Label.MDNS)
         ]
-        for row in index.udp:
-            if row.is_unicast or row.dst_port != 5353:
+        for rid in index.udp.rids:
+            if flags_col[rid] & F_UNICAST or dport_col[rid] != 5353:
                 continue
-            responder = device_macs.get(row.src)
+            responder = device_of[src_col[rid]]
             try:
-                message = DnsMessage.decode(row.packet.udp.payload)
+                message = DnsMessage.decode(table.app_payload(rid))
             except ValueError:
                 continue
             if not message.is_response:
                 continue
             for discovered_at, initiator in mdns_queries:
-                if 0.0 <= row.timestamp - discovered_at <= window:
+                if 0.0 <= timestamps[rid] - discovered_at <= window:
                     stats = correlation.per_device[initiator]
                     stats.protocols_with_response.add(str(Label.MDNS))
                     if responder is not None and responder != initiator:
@@ -137,14 +148,14 @@ def correlate_responses(
 
     # Pass 2: unicast inbound traffic matching transport + port within
     # the window counts as a response.
-    for row in index.transport_unicast:
-        dst = device_macs.get(row.dst)
+    for rid in index.transport_unicast.rids:
+        dst = device_of[dst_col[rid]]
         if dst is None:
             continue
-        responder = device_macs.get(row.src)
-        key = (dst, row.transport, row.dst_port)
+        responder = device_of[src_col[rid]]
+        key = (dst, _transport(rid), dport_col[rid])
         for discovered_at, label in pending.get(key, ()):
-            if 0.0 <= row.timestamp - discovered_at <= window:
+            if 0.0 <= timestamps[rid] - discovered_at <= window:
                 stats = correlation.per_device[dst]
                 stats.protocols_with_response.add(label)
                 if responder is not None:

@@ -96,11 +96,14 @@ def build_threat_report(
     report = ThreatReport(findings=list(findings or []))
     http_roles: Dict[str, Set[str]] = defaultdict(set)
 
-    for row in index.tcp_payload:
-        device = device_macs.get(row.src)
+    table = index.table
+    src_col = table.src_mac
+    device_of = [device_macs.get(mac) for mac in table.mac_strings]
+    for rid in index.tcp_payload.rids:
+        device = device_of[src_col[rid]]
         if device is None:
             continue
-        payload = row.packet.tcp.payload
+        payload = table.app_payload(rid)
         head = payload[:8]
         if head[:4] in (b"GET ", b"POST", b"PUT ", b"HEAD"):
             report.plaintext_http_devices.add(device)

@@ -20,6 +20,8 @@ from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
 from repro.net.flows import Flow, FlowKey, FlowTable, assemble_flows
 from repro.net.filters import LocalTrafficFilter
 from repro.net.oui import OuiRegistry, DEFAULT_OUI_REGISTRY
+from repro.net.columnar import LazyPackets, PacketTable
+from repro.net.ingest import IngestResult, IngestStats, ingest_pcap
 
 __all__ = [
     "MacAddress",
@@ -49,4 +51,9 @@ __all__ = [
     "LocalTrafficFilter",
     "OuiRegistry",
     "DEFAULT_OUI_REGISTRY",
+    "LazyPackets",
+    "PacketTable",
+    "IngestResult",
+    "IngestStats",
+    "ingest_pcap",
 ]

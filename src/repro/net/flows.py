@@ -98,6 +98,47 @@ class FlowTable:
             table.add(packet)
         return table
 
+    @classmethod
+    def from_table(cls, table: "PacketTable") -> "FlowTable":
+        """Assemble flows straight from a columnar packet table.
+
+        Grouping reads the transport/IP/port columns only; each flow's
+        ``packets`` is a :class:`~repro.net.columnar.LazyPackets` view,
+        so layer objects materialize only when a consumer (payload
+        reassembly, classification) actually touches them.
+        """
+        from repro.net.columnar import TRANSPORT_UDP, LazyPackets
+
+        flows = cls()
+        transport = table.transport
+        src_ip, dst_ip = table.src_ip, table.dst_ip
+        src_port, dst_port = table.src_port, table.dst_port
+        ips = table.ip_strings
+        groups: Dict[FlowKey, List[int]] = {}
+        non_flow: List[int] = []
+        for rid in range(len(table)):
+            code = transport[rid]
+            sid = src_ip[rid]
+            if not code or sid < 0:
+                non_flow.append(rid)
+                continue
+            key = FlowKey(
+                src_ip=ips[sid],
+                src_port=src_port[rid],
+                dst_ip=ips[dst_ip[rid]],
+                dst_port=dst_port[rid],
+                transport="udp" if code == TRANSPORT_UDP else "tcp",
+            )
+            rids = groups.get(key)
+            if rids is None:
+                groups[key] = [rid]
+            else:
+                rids.append(rid)
+        for key, rids in groups.items():
+            flows._flows[key] = Flow(key=key, packets=LazyPackets(table, rids))
+        flows.non_flow_packets = LazyPackets(table, non_flow)
+        return flows
+
     def add(self, packet: DecodedPacket) -> Optional[Flow]:
         key = flow_key_of(packet)
         if key is None:

@@ -1,0 +1,117 @@
+"""Streaming pcap ingest into the columnar packet store.
+
+The paper's captures are multi-week pcaps from a real AP; IoT
+Inspector-style deployments ingest millions of crowdsourced records.
+This frontend reads a classic pcap file in bounded-memory chunks and
+feeds each chunk straight into a
+:class:`~repro.net.columnar.PacketTable` through the same guarded,
+quarantining decode path the simulator uses — so every analysis under
+``repro.core`` and ``repro.classify`` runs unchanged over external
+captures via the resulting :class:`~repro.net.index.CaptureIndex`.
+
+Memory model: only one chunk of ``(timestamp, bytes)`` records is alive
+at a time — the ingest stage's transient footprint is
+``O(chunk_records)``, independent of capture length.  The table itself
+grows with the capture, but as packed columns plus one byte arena, not
+as per-packet Python objects (see ``docs/performance.md``).
+
+Used by the ``repro ingest`` CLI subcommand (``docs/cli.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.net.columnar import PacketTable
+from repro.net.decode import DecodeErrorLog
+from repro.net.index import CaptureIndex
+from repro.net.pcap import PcapReader
+
+#: Records per ingest chunk; bounds the transient per-chunk allocation.
+DEFAULT_CHUNK_RECORDS = 8_192
+
+
+@dataclass
+class IngestStats:
+    """Counters describing one streaming ingest."""
+
+    packets: int = 0
+    bytes: int = 0
+    chunks: int = 0
+    quarantined: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def quarantined_total(self) -> int:
+        return sum(self.quarantined.values())
+
+
+class IngestResult:
+    """The outcome of :func:`ingest_pcap`: table + error log + stats."""
+
+    def __init__(self, table: PacketTable, errors: DecodeErrorLog,
+                 stats: IngestStats):
+        self.table = table
+        self.errors = errors
+        self.stats = stats
+        self._index: Optional[CaptureIndex] = None
+
+    @property
+    def index(self) -> CaptureIndex:
+        """A shared :class:`CaptureIndex` over the ingested table."""
+        if self._index is None:
+            self._index = CaptureIndex(self.table)
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+def iter_pcap_chunks(path, chunk_records: int = DEFAULT_CHUNK_RECORDS,
+                     ) -> Iterator[List[Tuple[float, bytes]]]:
+    """Yield ``(timestamp, bytes)`` record chunks from a classic pcap.
+
+    Never holds more than ``chunk_records`` records at once.
+    """
+    if chunk_records <= 0:
+        raise ValueError(f"chunk_records must be positive, got {chunk_records}")
+    with PcapReader(path) as reader:
+        chunk: List[Tuple[float, bytes]] = []
+        for captured in reader:
+            chunk.append((captured.timestamp, captured.data))
+            if len(chunk) >= chunk_records:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+
+def ingest_pcap(path, chunk_records: int = DEFAULT_CHUNK_RECORDS,
+                errors: Optional[DecodeErrorLog] = None,
+                table: Optional[PacketTable] = None) -> IngestResult:
+    """Stream a classic pcap file into a columnar packet table.
+
+    Malformed frames are quarantined exactly as the simulator's capture
+    path quarantines them (counted per reason in the returned error
+    log, row flagged, packet preserved verbatim) — a hostile or
+    truncated-frame pcap cannot abort the ingest.  A truncated pcap
+    *file* still raises ``ValueError`` from the reader, as does a bad
+    magic number.
+
+    Pass ``table`` to append onto an existing store (e.g. merging
+    per-MAC pcaps back into one capture).
+    """
+    errors = errors if errors is not None else DecodeErrorLog()
+    table = table if table is not None else PacketTable()
+    stats = IngestStats()
+    quarantined_before = errors.snapshot()
+    for chunk in iter_pcap_chunks(path, chunk_records):
+        table.extend_records(chunk, errors)
+        stats.chunks += 1
+        stats.packets += len(chunk)
+        stats.bytes += sum(len(data) for _, data in chunk)
+    for reason, count in errors.snapshot().items():
+        delta = count - quarantined_before.get(reason, 0)
+        if delta:
+            stats.quarantined[reason] = delta
+    return IngestResult(table=table, errors=errors, stats=stats)

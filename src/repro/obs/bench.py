@@ -47,6 +47,17 @@ MEMORY_METRIC = "rss_peak_bytes"
 #: allocator and swings more between runs than wall time does.
 DEFAULT_MEMORY_TOLERANCE = 0.5
 
+#: Secondary throughput columns gated per trajectory file (always
+#: higher-is-better, same tolerance as the primary leg).  The decode
+#: trajectory's ``columnar_packets_per_second`` column tracks raw
+#: table-ingest throughput separately from the primary cold
+#: ingest+index number; entries recorded before the columnar store
+#: existed lack the column and are skipped, so the first post-columnar
+#: entry seeds that leg.
+SECONDARY_METRICS: Mapping[str, tuple] = {
+    "BENCH_decode.json": ("columnar_packets_per_second",),
+}
+
 
 def env_fingerprint() -> Dict[str, object]:
     """What kind of machine/code produced a benchmark number.
@@ -225,10 +236,33 @@ def _check_memory(trajectory: BenchTrajectory, entry: BenchEntry,
     return None
 
 
+def _check_secondary(trajectory: BenchTrajectory, entry: BenchEntry,
+                     metric: str, tolerance: float) -> Optional[str]:
+    """A secondary higher-is-better leg; returns a failure detail or ``None``.
+
+    Mirrors :func:`_check_memory`'s skip rules: entries recorded before
+    the column existed (latest or history) never trip the gate — the
+    first entry carrying the column seeds its own baseline.
+    """
+    value = entry.metrics.get(metric)
+    if not value:
+        return None
+    baseline = trajectory.baseline_median(entry, metric=metric)
+    if not baseline:
+        return None
+    limit = baseline * (1.0 - tolerance)
+    if value < limit:
+        return (f"SECONDARY REGRESSION: {metric}={value:.4g} vs median "
+                f"{baseline:.4g} (limit {limit:.4g}, "
+                f"{tolerance:.0%} tolerance) — below the limit")
+    return None
+
+
 def check_regression(
     trajectory: BenchTrajectory,
     tolerance: float = DEFAULT_TOLERANCE,
     memory_tolerance: float = DEFAULT_MEMORY_TOLERANCE,
+    secondary_metrics: tuple = (),
 ) -> RegressionVerdict:
     """Newest entry vs same-fingerprint trajectory median, under tolerance.
 
@@ -238,9 +272,12 @@ def check_regression(
       noting the entry only seeds the trajectory.
     * Otherwise fail when the primary metric regressed by more than
       ``tolerance`` relative to the median (direction per
-      ``higher_is_better``), or when the entry's
-      :data:`MEMORY_METRIC` column (always lower-is-better) grew past
-      ``memory_tolerance`` over its own history median.
+      ``higher_is_better``), when the entry's :data:`MEMORY_METRIC`
+      column (always lower-is-better) grew past ``memory_tolerance``
+      over its own history median, or when one of ``secondary_metrics``
+      (always higher-is-better, e.g. the decode trajectory's
+      ``columnar_packets_per_second``) fell below its history median by
+      more than ``tolerance``.
     """
     entry = trajectory.latest
     if entry is None:
@@ -277,5 +314,13 @@ def check_regression(
         return RegressionVerdict(
             name=trajectory.name, ok=False, latest=value, baseline=baseline,
             detail=f"{memory_failure} (time leg ok: {detail})")
+    for metric in secondary_metrics:
+        secondary_failure = _check_secondary(trajectory, entry, metric,
+                                             tolerance)
+        if secondary_failure is not None:
+            return RegressionVerdict(
+                name=trajectory.name, ok=False, latest=value,
+                baseline=baseline,
+                detail=f"{secondary_failure} (primary leg ok: {detail})")
     return RegressionVerdict(name=trajectory.name, ok=True, latest=value,
                              baseline=baseline, detail=detail)

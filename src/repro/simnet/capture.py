@@ -6,15 +6,20 @@ enabling us to distinguish traffic from individual devices."  This
 module reproduces both the global capture and the per-MAC split, and
 can persist either as classic pcap files.
 
-Decode-once contract: :meth:`ApCapture.decoded` memoizes the decode of
-every frame, extends incrementally as new frames are observed, and
-invalidates on :meth:`ApCapture.clear`.  ``per_mac``/``packets_of``
-reuse the cached :class:`~repro.net.decode.DecodedPacket` objects, and
-:meth:`ApCapture.index` layers a cached
-:class:`~repro.net.index.CaptureIndex` on top, so the whole analysis
-stack downstream decodes each frame exactly once per run.  Large decode
-backlogs fan out over a thread pool in order-preserving chunks (see
-``docs/performance.md`` for the thresholds and env knobs).
+Decode-once contract, columnar edition: observed frames land in a
+:class:`~repro.net.columnar.PacketTable` in one ingest pass (raw-byte
+fast path, per-frame quarantining fallback).  :meth:`ApCapture.index`
+layers a cached :class:`~repro.net.index.CaptureIndex` of zero-copy
+row-id views directly over the table — no ``DecodedPacket`` objects are
+built for the analyses' hot loops.  :meth:`ApCapture.decoded` still
+returns the memoized list of fully materialized packets for raw-list
+consumers, extending incrementally as new frames are observed and
+invalidating on :meth:`ApCapture.clear`; ``per_mac``/``packets_of``
+read the table's columns and reuse the same materialized objects.
+Large materialization backlogs fan out over a thread pool in
+order-preserving chunks — except on small machines, where the pool is
+a measured pessimization and auto-disables (see ``docs/performance.md``
+for thresholds and env knobs).
 """
 
 from __future__ import annotations
@@ -25,9 +30,8 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from functools import partial
-
-from repro.net.decode import DecodedPacket, DecodeErrorLog, decode_records
+from repro.net.columnar import F_UNICAST, PacketTable
+from repro.net.decode import DecodedPacket, DecodeErrorLog
 from repro.net.index import CaptureIndex
 from repro.net.mac import MacAddress
 from repro.net.pcap import PcapWriter
@@ -44,11 +48,16 @@ def _env_int(name: str, default: int) -> int:
         return default
 
 
-#: Backlogs below the threshold decode serially — thread-pool dispatch
-#: has a fixed cost that small test captures should never pay.
+#: Backlogs below the threshold materialize serially — thread-pool
+#: dispatch has a fixed cost that small test captures should never pay.
 DEFAULT_PARALLEL_THRESHOLD = 50_000
-#: Records per worker-chunk when decoding in parallel.
+#: Records per worker-chunk when materializing in parallel.
 DEFAULT_DECODE_CHUNK = 8_192
+#: With this many CPUs or fewer, the thread pool cannot win: chunk
+#: dispatch overhead on top of GIL-serialized decode makes the parallel
+#: path strictly slower (seed BENCH_decode.json shows it).  Unless the
+#: caller opted in explicitly, such machines decode serially.
+MIN_PARALLEL_CPUS = 3
 
 
 class RecordsView(Sequence):
@@ -101,22 +110,30 @@ class ApCapture:
         decode_workers: Optional[int] = None,
     ):
         self.keep_bytes = keep_bytes
-        #: Minimum decode backlog before the thread pool is used.
+        #: True when the caller (ctor arg or env) chose the parallel
+        #: threshold explicitly — the small-machine auto-disable only
+        #: applies to the built-in default.
+        self._parallel_explicit = (
+            parallel_threshold is not None
+            or "REPRO_DECODE_PARALLEL_THRESHOLD" in os.environ
+        )
+        #: Minimum materialization backlog before the thread pool is used.
         self.parallel_threshold = (
             parallel_threshold if parallel_threshold is not None
             else _env_int("REPRO_DECODE_PARALLEL_THRESHOLD", DEFAULT_PARALLEL_THRESHOLD)
         )
-        #: Records per chunk when decoding in parallel.
+        #: Records per chunk when materializing in parallel.
         self.decode_chunk_size = (
             decode_chunk_size if decode_chunk_size is not None
             else _env_int("REPRO_DECODE_CHUNK", DEFAULT_DECODE_CHUNK)
         )
-        #: Worker count for parallel decode; 0 means ``os.cpu_count()``.
+        #: Worker count for parallel materialization; 0 means ``os.cpu_count()``.
         self.decode_workers = (
             decode_workers if decode_workers is not None
             else _env_int("REPRO_DECODE_WORKERS", 0)
         )
         self._records: List[Tuple[float, bytes]] = []
+        self._table = PacketTable()
         self._decoded: List[DecodedPacket] = []
         self._decoded_upto = 0
         self._index: Optional[CaptureIndex] = None
@@ -147,6 +164,9 @@ class ApCapture:
             self._decode_pool_workers = metrics.gauge(
                 "decode_pool_workers",
                 "thread-pool width of the most recent parallel decode")
+            self._decode_parallel_disabled = metrics.counter(
+                "decode_parallel_disabled_total",
+                "parallel decode auto-disabled on a small machine")
 
     def observe(self, timestamp: float, frame_bytes: bytes) -> None:
         self.packet_count += 1
@@ -164,51 +184,83 @@ class ApCapture:
         """Read-only view of the raw records (no per-access copy)."""
         return RecordsView(self._records)
 
+    def table(self) -> PacketTable:
+        """The columnar packet table, ingesting any observed backlog first."""
+        return self._ensure_table()
+
+    def _ensure_table(self) -> PacketTable:
+        """Ingest observed-but-uningested records into the columnar table.
+
+        This is where frames are decoded (columnar fast path, layered
+        fallback), so the decode-cache *miss* accounting and quarantine
+        deltas live here: every newly ingested row is one cache fill,
+        whether the analyses later read it as columns or as a
+        materialized packet.
+        """
+        table = self._table
+        built = len(table)
+        total = len(self._records)
+        if built < total:
+            quarantined_before = self.decode_errors.snapshot()
+            table.extend_records(self._records[built:total], self.decode_errors)
+            if self._obs.enabled:
+                self._decode_cache_misses.inc(total - built)
+                self._decode_chunks_total.inc(mode="columnar")
+                for reason, count in self.decode_errors.snapshot().items():
+                    delta = count - quarantined_before.get(reason, 0)
+                    if delta:
+                        self._decode_quarantined_total.inc(delta, reason=reason)
+        return table
+
     def decoded(self) -> List[DecodedPacket]:
-        """Decode the full capture (chronological order), memoized.
+        """Materialize the full capture (chronological order), memoized.
 
         Each frame is decoded exactly once: repeated calls return the
         same list object, which extends in place as new frames are
         observed and empties on :meth:`clear`.  Callers must treat the
         returned list as read-only.
         """
-        total = len(self._records)
+        table = self._ensure_table()
         cached = self._decoded_upto
+        total = len(table)
         if cached < total:
-            quarantined_before = self.decode_errors.snapshot()
-            self._decoded.extend(self._decode_backlog(self._records[cached:total]))
+            self._decoded.extend(self._materialize_backlog(table, cached, total))
             self._decoded_upto = total
-            if self._obs.enabled:
-                # Metric writes stay on this thread; workers only touch
-                # the (locked) DecodeErrorLog.
-                for reason, count in self.decode_errors.snapshot().items():
-                    delta = count - quarantined_before.get(reason, 0)
-                    if delta:
-                        self._decode_quarantined_total.inc(delta, reason=reason)
-        if self._obs.enabled:
-            if cached:
-                self._decode_cache_hits.inc(cached)
-            if total - cached:
-                self._decode_cache_misses.inc(total - cached)
+        if self._obs.enabled and cached:
+            self._decode_cache_hits.inc(cached)
         return self._decoded
 
-    def _decode_backlog(self, records: List[Tuple[float, bytes]]) -> List[DecodedPacket]:
-        """Decode a backlog serially, or in order-preserving parallel chunks."""
+    def _materialize_backlog(self, table: PacketTable,
+                             start: int, stop: int) -> List[DecodedPacket]:
+        """Materialize rows ``[start, stop)`` serially or in parallel chunks."""
+        count = stop - start
         threshold = self.parallel_threshold
-        if threshold <= 0 or len(records) < threshold:
+        use_pool = 0 < threshold <= count
+        if (use_pool and not self._parallel_explicit
+                and (os.cpu_count() or 1) < MIN_PARALLEL_CPUS):
+            use_pool = False
+            if self._obs.enabled:
+                self._decode_parallel_disabled.inc()
+        if not use_pool:
             if self._obs.enabled:
                 self._decode_chunks_total.inc(mode="serial")
-            return decode_records(records, self.decode_errors)
+            packet = table.packet
+            return [packet(rid) for rid in range(start, stop)]
         chunk_size = max(1, self.decode_chunk_size)
-        chunks = [records[i:i + chunk_size] for i in range(0, len(records), chunk_size)]
+        chunks = [range(i, min(i + chunk_size, stop))
+                  for i in range(start, stop, chunk_size)]
         workers = self.decode_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(chunks)))
+
+        def materialize_chunk(rids) -> List[DecodedPacket]:
+            packet = table.packet
+            return [packet(rid) for rid in rids]
+
         out: List[DecodedPacket] = []
-        decode_chunk = partial(decode_records, errors=self.decode_errors)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             # Executor.map preserves submission order, so the
             # concatenation below reproduces capture order exactly.
-            for part in pool.map(decode_chunk, chunks):
+            for part in pool.map(materialize_chunk, chunks):
                 out.extend(part)
         if self._obs.enabled:
             self._decode_chunks_total.inc(len(chunks), mode="parallel")
@@ -218,12 +270,13 @@ class ApCapture:
     def index(self) -> CaptureIndex:
         """The capture's :class:`CaptureIndex`, built once per snapshot.
 
-        Rebuilt only when new frames were observed since the last call;
-        the underlying decode cache is always reused.
+        Rebuilt only when new frames were observed since the last call.
+        The index is layered directly over the columnar table — no
+        packet materialization happens here.
         """
-        packets = self.decoded()
-        if self._index is None or self._index.packet_count != len(packets):
-            self._index = CaptureIndex(packets)
+        table = self._ensure_table()
+        if self._index is None or self._index.packet_count != len(table):
+            self._index = CaptureIndex(table)
         return self._index
 
     def per_mac(self) -> Dict[MacAddress, List[Tuple[float, bytes]]]:
@@ -231,20 +284,27 @@ class ApCapture:
 
         A frame appears in the file of its source MAC and, when unicast,
         also in the destination's file (the AP attributes both ends).
-        Reuses the decode cache instead of re-parsing Ethernet headers.
+        Reads the table's MAC-id columns — no packet objects.
         """
+        table = self._ensure_table()
+        src_col, dst_col, flags_col = table.src_mac, table.dst_mac, table.flags
+        mac_object = table.mac_object
         split: Dict[MacAddress, List[Tuple[float, bytes]]] = {}
-        for packet, record in zip(self.decoded(), self._records):
-            frame = packet.frame
-            split.setdefault(frame.src, []).append(record)
-            if not frame.dst.is_multicast:
-                split.setdefault(frame.dst, []).append(record)
+        for rid, record in enumerate(self._records):
+            split.setdefault(mac_object(src_col[rid]), []).append(record)
+            if flags_col[rid] & F_UNICAST:
+                split.setdefault(mac_object(dst_col[rid]), []).append(record)
         return split
 
     def packets_of(self, mac) -> List[DecodedPacket]:
         """Decoded packets sent *by* the given MAC (from the cache)."""
-        wanted = MacAddress(mac)
-        return [packet for packet in self.decoded() if packet.frame.src == wanted]
+        table = self._ensure_table()
+        mac_id = table.mac_id_of(mac)
+        if mac_id is None:
+            return []
+        src_col = table.src_mac
+        packet = table.packet
+        return [packet(rid) for rid in range(len(table)) if src_col[rid] == mac_id]
 
     # -- persistence --------------------------------------------------------------
 
@@ -270,6 +330,7 @@ class ApCapture:
 
     def clear(self) -> None:
         self._records.clear()
+        self._table = PacketTable()
         self._decoded.clear()
         self._decoded_upto = 0
         self._index = None

@@ -1,0 +1,134 @@
+"""Streaming pcap ingest: bounded chunks, equivalence, CLI smoke.
+
+``ingest_pcap`` must produce the same table whether it reads the pcap
+in one chunk or many, survive captures containing quarantined frames,
+and surface everything the ``repro ingest`` CLI needs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.net.columnar import PacketTable
+from repro.net.decode import DecodeErrorLog
+from repro.net.ingest import (
+    DEFAULT_CHUNK_RECORDS,
+    ingest_pcap,
+    iter_pcap_chunks,
+)
+from repro.net.pcap import write_pcap
+from tests.net.test_columnar import _mixed_records
+
+
+@pytest.fixture
+def mixed_pcap(tmp_path):
+    records = _mixed_records()
+    path = tmp_path / "mixed.pcap"
+    write_pcap(path, [(ts, data) for ts, data in records])
+    return path, records
+
+
+class TestChunking:
+    def test_chunks_cover_all_records_in_order(self, mixed_pcap):
+        path, records = mixed_pcap
+        chunks = list(iter_pcap_chunks(path, chunk_records=4))
+        assert all(len(chunk) <= 4 for chunk in chunks)
+        flattened = [record for chunk in chunks for record in chunk]
+        assert flattened == records
+
+    def test_chunk_records_must_be_positive(self, mixed_pcap):
+        path, _ = mixed_pcap
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="chunk_records"):
+                list(iter_pcap_chunks(path, chunk_records=bad))
+
+    def test_chunked_equals_whole_file(self, mixed_pcap):
+        path, records = mixed_pcap
+        small = ingest_pcap(path, chunk_records=3)
+        whole = ingest_pcap(path, chunk_records=DEFAULT_CHUNK_RECORDS)
+        assert small.stats.chunks > 1 and whole.stats.chunks == 1
+        assert len(small) == len(whole) == len(records)
+        assert small.table.packets() == whole.table.packets()
+        assert small.stats.quarantined == whole.stats.quarantined
+        assert small.index.protocol_counts() == whole.index.protocol_counts()
+
+
+class TestQuarantineRoundTrip:
+    def test_malformed_frames_survive_pcap_round_trip(self, tmp_path):
+        """Capture → write_pcap → ingest keeps damaged frames verbatim."""
+        from repro.simnet.capture import ApCapture
+
+        records = _mixed_records()
+        capture = ApCapture()
+        for timestamp, data in records:
+            capture.observe(timestamp, data)
+        capture.index()  # force ingest so the capture quarantines
+        assert capture.decode_errors.counts  # the corpus has damage
+
+        path = tmp_path / "round-trip.pcap"
+        assert capture.write_pcap(path) == len(records)
+        result = ingest_pcap(path, chunk_records=4)
+        assert len(result) == len(records)
+        # Byte-identical frames, malformed ones included.
+        for rid, (timestamp, data) in enumerate(records):
+            assert result.table.timestamps[rid] == timestamp
+            assert result.table.frame_bytes(rid) == data
+        assert result.errors.counts == capture.decode_errors.counts
+        assert result.stats.quarantined_total == sum(
+            capture.decode_errors.counts.values())
+
+    def test_append_onto_existing_table(self, mixed_pcap):
+        path, records = mixed_pcap
+        table = PacketTable()
+        errors = DecodeErrorLog()
+        first = ingest_pcap(path, errors=errors, table=table)
+        second = ingest_pcap(path, errors=errors, table=table)
+        assert first.table is second.table is table
+        assert len(table) == 2 * len(records)
+        # Each pass reports only its own quarantine delta.
+        assert first.stats.quarantined == second.stats.quarantined
+
+    def test_truncated_pcap_file_raises(self, mixed_pcap, tmp_path):
+        path, _ = mixed_pcap
+        clipped = tmp_path / "clipped.pcap"
+        clipped.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(ValueError):
+            ingest_pcap(clipped)
+
+
+class TestIngestCli:
+    def test_cli_smoke_with_json_artifacts(self, mixed_pcap, tmp_path, capsys):
+        path, records = mixed_pcap
+        device_map = tmp_path / "devices.json"
+        device_map.write_text(json.dumps({
+            "02:aa:00:00:00:01": {"name": "lamp", "vendor": "acme",
+                                  "category": "bulb"},
+        }))
+        out = tmp_path / "ingest.json"
+        code = main(["ingest", str(path), "--device-map", str(device_map),
+                     "--chunk-records", "4", "--json", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert f"{len(records)} packets" in printed
+        payload = json.loads(out.read_text())
+        assert payload["packets"] == len(records)
+        assert payload["chunks"] > 1
+        assert payload["quarantined"]
+        assert sum(payload["protocol_counts"].values()) == len(records)
+        assert "census_passive" in payload and "crossval" in payload
+
+    def test_cli_missing_pcap_fails(self, tmp_path, capsys):
+        code = main(["ingest", str(tmp_path / "absent.pcap")])
+        assert code == 1
+        assert "cannot ingest" in capsys.readouterr().err
+
+    def test_cli_bad_device_map_fails(self, mixed_pcap, tmp_path, capsys):
+        path, _ = mixed_pcap
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(["not", "a", "mapping"]))
+        code = main(["ingest", str(path), "--device-map", str(bad)])
+        assert code == 2
+        assert "--device-map" in capsys.readouterr().err

@@ -159,6 +159,60 @@ class TestMemoryGate:
         assert not check_regression(trajectory, memory_tolerance=0.1).ok
 
 
+class TestSecondaryGate:
+    def _with_columnar(self, *columnar_values, pps=100.0):
+        trajectory = _trajectory(*([pps] * len(columnar_values)))
+        for entry, value in zip(trajectory.entries, columnar_values):
+            if value is not None:
+                entry.metrics["columnar_pps"] = float(value)
+        return trajectory
+
+    def test_secondary_within_tolerance_passes(self):
+        # median 1000; 800 > 1000 * 0.75
+        trajectory = self._with_columnar(1000.0, 1000.0, 800.0)
+        verdict = check_regression(trajectory,
+                                   secondary_metrics=("columnar_pps",))
+        assert verdict.ok
+
+    def test_secondary_beyond_tolerance_fails(self):
+        trajectory = self._with_columnar(1000.0, 1000.0, 600.0)
+        verdict = check_regression(trajectory,
+                                   secondary_metrics=("columnar_pps",))
+        assert not verdict.ok
+        assert "SECONDARY REGRESSION" in verdict.detail
+        assert "columnar_pps" in verdict.detail
+        assert "primary leg ok" in verdict.detail
+
+    def test_secondary_growth_always_passes(self):
+        # Higher-is-better: a throughput jump is a win.
+        trajectory = self._with_columnar(1000.0, 1000.0, 5000.0)
+        assert check_regression(trajectory,
+                                secondary_metrics=("columnar_pps",)).ok
+
+    def test_pre_column_history_is_skipped(self):
+        # Entries recorded before the columnar store existed must not
+        # fail the first entry that carries the column — it seeds.
+        trajectory = self._with_columnar(None, None, 900.0)
+        assert check_regression(trajectory,
+                                secondary_metrics=("columnar_pps",)).ok
+
+    def test_entry_without_column_is_skipped(self):
+        trajectory = self._with_columnar(1000.0, 1000.0, None)
+        assert check_regression(trajectory,
+                                secondary_metrics=("columnar_pps",)).ok
+
+    def test_unlisted_metric_not_gated(self):
+        # Without the metric in secondary_metrics the drop is ignored.
+        trajectory = self._with_columnar(1000.0, 1000.0, 100.0)
+        assert check_regression(trajectory).ok
+
+    def test_decode_file_mapping_names_columnar_throughput(self):
+        from repro.obs.bench import SECONDARY_METRICS
+
+        assert "columnar_packets_per_second" in SECONDARY_METRICS[
+            "BENCH_decode.json"]
+
+
 class TestCheckerScript:
     def test_repo_trajectories_pass_the_gate(self):
         """The committed BENCH_*.json seeds must satisfy the CI gate."""

@@ -109,6 +109,57 @@ class TestDecodeCache:
         capture.clear()
         assert len(capture.index()) == 0
 
+    def test_parallel_auto_disabled_on_small_machines(self, monkeypatch):
+        """Default-config captures on <3 CPUs materialize serially."""
+        import repro.simnet.capture as capture_module
+
+        monkeypatch.delenv("REPRO_DECODE_PARALLEL_THRESHOLD", raising=False)
+        monkeypatch.setattr(capture_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(capture_module, "DEFAULT_PARALLEL_THRESHOLD", 10)
+        obs = enable_observability()
+        with use_obs(obs):
+            capture = ApCapture(decode_chunk_size=8)
+            assert not capture._parallel_explicit
+            _fill(capture, 30)
+            packets = capture.decoded()
+        assert [p.timestamp for p in packets] == [float(i) for i in range(30)]
+        snapshot = obs.metrics.to_dict()
+        disabled = snapshot["capture_decode_parallel_disabled_total"]["samples"]
+        assert sum(s["value"] for s in disabled) == 1
+        chunks = snapshot["capture_decode_chunks_total"]["samples"]
+        modes = {s["labels"]["mode"] for s in chunks}
+        assert "serial" in modes and "parallel" not in modes
+
+    def test_explicit_threshold_keeps_pool_on_small_machines(self, monkeypatch):
+        """An explicit opt-in (ctor arg) overrides the CPU guard."""
+        import repro.simnet.capture as capture_module
+
+        monkeypatch.setattr(capture_module.os, "cpu_count", lambda: 1)
+        obs = enable_observability()
+        with use_obs(obs):
+            capture = ApCapture(parallel_threshold=10, decode_chunk_size=8)
+            assert capture._parallel_explicit
+            _fill(capture, 30)
+            packets = capture.decoded()
+        assert [p.timestamp for p in packets] == [float(i) for i in range(30)]
+        snapshot = obs.metrics.to_dict()
+        assert "capture_decode_parallel_disabled_total" not in snapshot or sum(
+            s["value"]
+            for s in snapshot["capture_decode_parallel_disabled_total"]["samples"]
+        ) == 0
+        modes = {s["labels"]["mode"]
+                 for s in snapshot["capture_decode_chunks_total"]["samples"]}
+        assert "parallel" in modes
+
+    def test_env_threshold_counts_as_explicit(self, monkeypatch):
+        import repro.simnet.capture as capture_module
+
+        monkeypatch.setenv("REPRO_DECODE_PARALLEL_THRESHOLD", "10")
+        monkeypatch.setattr(capture_module.os, "cpu_count", lambda: 1)
+        capture = ApCapture()
+        assert capture._parallel_explicit
+        assert capture.parallel_threshold == 10
+
     def test_cache_metrics(self):
         obs = enable_observability()
         with use_obs(obs):
@@ -162,3 +213,32 @@ class TestRecordsView:
             view.append((9.0, b""))
         with pytest.raises(TypeError):
             hash(view)
+
+    def test_negative_indexing_and_step_slicing(self):
+        capture = ApCapture()
+        _fill(capture, 6)
+        view = capture.records
+        assert view[-1][0] == 5.0
+        assert view[-6][0] == 0.0
+        assert [t for t, _ in view[::2]] == [0.0, 2.0, 4.0]
+        assert [t for t, _ in view[::-1]] == [5.0, 4.0, 3.0, 2.0, 1.0, 0.0]
+        assert [t for t, _ in view[-3:]] == [3.0, 4.0, 5.0]
+        assert [t for t, _ in view[4:1:-2]] == [4.0, 2.0]
+        assert view[2:2] == []
+        with pytest.raises(IndexError):
+            view[6]
+        with pytest.raises(IndexError):
+            view[-7]
+
+    def test_equality_against_plain_lists(self):
+        capture = ApCapture()
+        _fill(capture, 3)
+        view = capture.records
+        records = [(float(i), _frame(i)) for i in range(3)]
+        assert view == records
+        assert view == tuple(records)
+        assert view != records[:-1]            # shorter
+        assert view != records + [(9.0, b"")]  # longer
+        assert view != [records[1], records[0], records[2]]  # reordered
+        assert (view == object()) is False     # NotImplemented fallback
+        assert view != 42

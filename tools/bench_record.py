@@ -13,9 +13,13 @@ trajectory file::
 Benchmarks:
 
 * ``decode`` → ``BENCH_decode.json``, primary metric
-  ``packets_per_second`` (cold serial decode throughput).
+  ``packets_per_second`` (cold columnar ingest + index scan), plus the
+  ``columnar_packets_per_second`` secondary column (raw table ingest).
 * ``fleet``  → ``BENCH_fleet.json``, primary metric
   ``households_per_second`` (cold sharded run throughput).
+
+``--note`` appends a fragment to ``--notes`` (repeatable), so CI can
+stamp entries without hand-editing the JSON.
 
 ``--date`` overrides the stamped ISO date (defaulting to today at this
 CLI boundary — the library layer never reads the wall clock).  Pair
@@ -59,7 +63,12 @@ def _run_decode(options) -> dict:
         "cold_seconds": results["cold_seconds"],
         "cached_seconds": results["cached_seconds"],
         "parallel_seconds": results["parallel_seconds"],
+        "columnar_seconds": results["columnar_seconds"],
+        "materialize_seconds": results["materialize_seconds"],
     }
+    if results["columnar_seconds"] > 0:
+        metrics["columnar_packets_per_second"] = (
+            packets / results["columnar_seconds"])
     if results["parallel_seconds"] > 0:
         metrics["parallel_packets_per_second"] = (
             packets / results["parallel_seconds"])
@@ -123,6 +132,10 @@ def main(argv=None) -> int:
                         help="ISO date to stamp the entry with (default: today)")
     parser.add_argument("--notes", default="",
                         help="free-form note attached to the entry")
+    parser.add_argument("--note", action="append", default=[],
+                        metavar="TEXT",
+                        help="additional note fragment; repeatable, joined "
+                             "onto --notes with '; '")
     parser.add_argument("--duration", type=float, default=300.0,
                         help="decode bench: simulated capture seconds")
     parser.add_argument("--households", type=int, default=400,
@@ -130,6 +143,9 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=2,
                         help="fleet bench: worker processes")
     options = parser.parse_args(argv)
+    if options.note:
+        fragments = ([options.notes] if options.notes else []) + options.note
+        options.notes = "; ".join(fragments)
 
     names = sorted(BENCHMARKS) if options.benchmark == "all" else [options.benchmark]
     for name in names:

@@ -14,8 +14,12 @@ the trajectory for that machine); an *empty or missing* trajectory
 fails — the recorder must have run.  Entries also carry a
 ``rss_peak_bytes`` column, gated lower-is-better at its own (looser)
 ``--mem-tolerance``; entries recorded before the column existed are
-skipped by that leg.  Exit 0 when every trajectory is clean, 1
-otherwise, listing each verdict either way.
+skipped by that leg.  Per-file secondary throughput columns
+(:data:`repro.obs.bench.SECONDARY_METRICS` — the decode trajectory's
+``columnar_packets_per_second``) are gated higher-is-better at the
+primary ``--tolerance``, with the same skip rule for pre-column
+entries.  Exit 0 when every trajectory is clean, 1 otherwise, listing
+each verdict either way.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.obs.bench import (  # noqa: E402
     DEFAULT_MEMORY_TOLERANCE,
     DEFAULT_TOLERANCE,
+    SECONDARY_METRICS,
     BenchTrajectory,
     check_regression,
 )
@@ -69,8 +74,10 @@ def main(argv=None) -> int:
             print(f"FAIL {label}: {error}")
             failures += 1
             continue
-        verdict = check_regression(trajectory, tolerance=options.tolerance,
-                                   memory_tolerance=options.mem_tolerance)
+        verdict = check_regression(
+            trajectory, tolerance=options.tolerance,
+            memory_tolerance=options.mem_tolerance,
+            secondary_metrics=SECONDARY_METRICS.get(label, ()))
         status = "ok  " if verdict.ok else "FAIL"
         print(f"{status} {label}: {verdict.detail}")
         failures += 0 if verdict.ok else 1
