@@ -16,6 +16,8 @@ Installed as the ``repro`` console script::
     repro fleet        [--households N] [--workers W] [--shard-size N]
                        [--cache-dir PATH] [--resume] [--json PATH]
                        [--fault-plan PATH] [--keep-going | --fail-fast]
+                       [--shard-retries N] [--retry-backoff SECONDS]
+                       [--shard-deadline SECONDS]
                        [--events-out PATH] [--profile-out DIR] [--profile-hz HZ]
                        [--progress | --no-progress]
 
@@ -159,7 +161,8 @@ class _FleetProgress:
     carriage-return line on stderr.
     """
 
-    TERMINAL = ("shard_done", "shard_cached", "shard_failed")
+    TERMINAL = ("shard_done", "shard_cached", "shard_failed",
+                "shard_quarantined")
 
     def __init__(self, stream=None):
         self.stream = stream if stream is not None else sys.stderr
@@ -168,11 +171,14 @@ class _FleetProgress:
     def __call__(self, record) -> None:
         if record.get("event") not in self.TERMINAL or "total" not in record:
             return
+        quarantined = record.get("quarantined", 0)
         done = record.get("done", 0) + record.get("cached", 0) \
-            + record.get("failed", 0)
+            + record.get("failed", 0) + quarantined
         line = (f"fleet: {done}/{record['total']} shards "
                 f"({record.get('cached', 0)} cached, "
                 f"{record.get('failed', 0)} failed)")
+        if quarantined:
+            line = line[:-1] + f", {quarantined} quarantined)"
         try:
             self.stream.write("\r" + line.ljust(60))
             self.stream.flush()
@@ -236,8 +242,20 @@ def _cmd_study(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         keep_going=not args.fail_fast,
     )
+    from repro.fleet.supervisor import interrupt_guard
+
     try:
-        report = pipeline.run()
+        with interrupt_guard():
+            report = pipeline.run()
+    except KeyboardInterrupt as interrupt:
+        # SIGINT/SIGTERM: flush the telemetry collected so far — the
+        # interrupt path writes the same artifacts the failure path
+        # does — then honour the 128+signum exit convention.
+        _write_observability_outputs(obs, args)
+        code = getattr(interrupt, "exit_code", 130)
+        print(f"repro study: interrupted (exit {code}); "
+              "telemetry outputs flushed", file=sys.stderr)
+        return code
     except Exception as error:
         # Fail-fast runs re-raise the first analysis failure; flush the
         # telemetry collected so far — a crashed run is exactly when the
@@ -592,16 +610,35 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             keep_going=not args.fail_fast,
             obs=obs,
             profile_hz=profile_hz,
+            retries=args.shard_retries,
+            retry_backoff=args.retry_backoff,
+            shard_deadline=args.shard_deadline,
         )
     except (FleetConfigError, ValueError) as error:
         print(f"repro fleet: error: {error}", file=sys.stderr)
         return 2
+    from repro.fleet.supervisor import interrupt_guard
+
     progress = None
     if _progress_wanted(args) and obs.events.enabled:
         progress = _FleetProgress()
         obs.events.subscribe(progress)
     try:
-        result = runner.run()
+        with interrupt_guard():
+            result = runner.run()
+    except KeyboardInterrupt as interrupt:
+        # SIGINT/SIGTERM: the runner already reaped its workers, marked
+        # in-flight shards "interrupted", and checkpointed the manifest;
+        # flush the telemetry artifacts and exit 128+signum so a later
+        # --resume continues from the checkpoint byte-identically.
+        if progress is not None:
+            progress.finish()
+        _write_observability_outputs(obs, args)
+        code = getattr(interrupt, "exit_code", 130)
+        print(f"repro fleet: interrupted (exit {code}); manifest "
+              "checkpointed — rerun with --resume to continue",
+              file=sys.stderr)
+        return code
     except FleetError as error:
         # Telemetry still lands on disk on the failure paths: a fleet
         # run that died mid-flight is the one you want to inspect.
@@ -620,12 +657,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print()
     summary = result.summary()
     states = summary["states"]
+    quarantined_count = states.get("quarantined", 0)
     print(
         f"fleet: {summary['shards']} shards "
         f"({states.get('completed', 0)} computed, "
         f"{states.get('cached', 0)} cached, "
-        f"{states.get('failed', 0)} failed), "
-        f"workers {summary['workers']}, "
+        f"{states.get('failed', 0)} failed"
+        + (f", {quarantined_count} quarantined" if quarantined_count else "")
+        + f"), workers {summary['workers']}, "
         f"cache {summary['cache_hits']} hits / "
         f"{summary['cache_misses']} misses / "
         f"{summary['cache_writes']} writes, "
@@ -639,6 +678,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"  shard {failure.shard} "
                   f"[{failure.start}, {failure.stop}): {failure.error}",
                   file=sys.stderr)
+    if result.quarantined:
+        print(f"{len(result.quarantined)} poison shard(s) quarantined "
+              f"after exhausting {runner.retries} retries "
+              f"(partial report):", file=sys.stderr)
+        for poison in result.quarantined:
+            print(f"  shard {poison.shard} "
+                  f"[{poison.start}, {poison.stop}): "
+                  f"{poison.attempts} attempts, last error: {poison.error}",
+                  file=sys.stderr)
     if args.json:
         payload = {
             "spec": spec.to_dict(),
@@ -649,9 +697,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                  "stop": failure.stop, "error": failure.error}
                 for failure in result.failures
             ],
+            "quarantined": [
+                {"shard": poison.shard, "start": poison.start,
+                 "stop": poison.stop, "attempts": poison.attempts,
+                 "error": poison.error}
+                for poison in result.quarantined
+            ],
             "shards": [
                 {"index": state.index, "start": state.start, "stop": state.stop,
-                 "state": state.state, "seconds": state.seconds}
+                 "state": state.state, "seconds": state.seconds,
+                 "attempts": state.attempts}
                 for state in result.shard_states
             ],
         }
@@ -775,6 +830,19 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--fault-plan", metavar="PATH", default=None,
                        help="inject shard faults from a JSON plan's "
                             "'shards' section (see docs/resilience.md)")
+    fleet.add_argument("--shard-retries", type=int, default=2, metavar="N",
+                       help="retry budget per shard before poison "
+                            "quarantine (default 2; 0 disables retries)")
+    fleet.add_argument("--retry-backoff", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="base retry delay; attempt n waits "
+                            "backoff * 2**(n-1) seconds (default 0.5)")
+    fleet.add_argument("--shard-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock deadline per shard attempt; a "
+                            "worker silent past it is reaped and the "
+                            "shard rescheduled (default: derived from "
+                            "shard size, min 60s; env REPRO_FLEET_DEADLINE)")
     fleet_going = fleet.add_mutually_exclusive_group()
     fleet_going.add_argument("--keep-going", dest="fail_fast",
                              action="store_false",
@@ -825,6 +893,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    except KeyboardInterrupt as interrupt:
+        # An interrupt outside a guarded run section (argument parsing,
+        # report rendering): exit by the same 128+signum convention
+        # instead of dumping a traceback.
+        return getattr(interrupt, "exit_code", 130)
 
 
 if __name__ == "__main__":

@@ -379,6 +379,27 @@ class StudyPipeline:
     # -- the full study ----------------------------------------------------------------
 
     def run(self) -> StudyReport:
+        """Run the study; guarantees a terminal ``run_end`` event.
+
+        Every exit path emits exactly one ``run_end`` with an
+        ``outcome`` field: ``"ok"`` on success, ``"interrupted"`` on
+        SIGINT/SIGTERM (:class:`KeyboardInterrupt` and its
+        :class:`~repro.fleet.supervisor.RunInterrupted` subclass), and
+        ``"failed"`` for everything else — so a truncated event stream
+        still tells the reader how the run died.
+        """
+        try:
+            return self._run()
+        except KeyboardInterrupt:
+            self.obs.events.emit("run_end", kind="study", complete=False,
+                                 outcome="interrupted")
+            raise
+        except BaseException:
+            self.obs.events.emit("run_end", kind="study", complete=False,
+                                 outcome="failed")
+            raise
+
+    def _run(self) -> StudyReport:
         obs = self.obs
         # The sim clock is installed exactly once, by build(), when the
         # Simulator it reads actually exists; spans opened before that
@@ -482,5 +503,5 @@ class StudyPipeline:
         obs.events.emit("run_end", kind="study",
                         packets=report.capture_packets,
                         failed_analyses=len(report.failures),
-                        complete=report.complete)
+                        complete=report.complete, outcome="ok")
         return report

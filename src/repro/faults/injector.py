@@ -35,6 +35,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simnet.lan import Lan
     from repro.simnet.node import Node
 
+#: Help text for ``faults_injected_total`` — one string, shared by the
+#: LAN injector, the snapshot merge, and the fleet runner, so the
+#: registry never sees the same metric described two ways.
+FAULTS_INJECTED_HELP = "faults injected into the LAN, per kind"
+
+
+def faults_injected_counter(obs):
+    """The shared ``faults_injected_total{kind}`` counter in ``obs``.
+
+    The fleet runner counts its worker faults here too
+    (``kind="shard_fail" | "shard_hang" | "shard_slow"``), so one chaos
+    run's injections — LAN-side and fleet-side — land in one series.
+    Caller must check ``obs.enabled`` first.
+    """
+    return obs.metrics.scoped("faults").counter(
+        "injected_total", FAULTS_INJECTED_HELP)
+
 
 class FaultInjector:
     """Applies one validated :class:`FaultPlan` deterministically."""
@@ -53,8 +70,7 @@ class FaultInjector:
         obs = get_obs()
         self._obs = obs
         if obs.enabled:
-            self._faults_total = obs.metrics.scoped("faults").counter(
-                "injected_total", "faults injected into the LAN, per kind")
+            self._faults_total = faults_injected_counter(obs)
 
     @property
     def active(self) -> bool:

@@ -27,12 +27,14 @@ Schema (all sections optional; unknown keys are rejected)::
         {"device": "*", "transport": "tcp", "port": 80,
          "start": 0.0, "duration": null}
       ],
-      "shards": {"fail": [1, 3], "fail_rate": 0.0}
+      "shards": {"fail": [1, 3], "fail_rate": 0.0,
+                 "hang": [2], "hang_rate": 0.0, "hang_seconds": 300.0,
+                 "slow": [], "slow_rate": 0.0, "slow_factor": 4.0}
     }
 
 The ``shards`` section is read by :mod:`repro.fleet` (worker-process
-crash injection), not by the LAN injector; a shards-only plan leaves a
-``repro study`` run byte-identical.
+crash/hang/slowdown injection), not by the LAN injector; a shards-only
+plan leaves a ``repro study`` run byte-identical.
 """
 
 from __future__ import annotations
@@ -259,37 +261,86 @@ class UnresponsivePort:
         return self.duration is None or now < self.start + self.duration
 
 
+def _require_shard_indices(section: str, key: str, raw: dict) -> Tuple[int, ...]:
+    value = raw.get(key, [])
+    if not isinstance(value, list):
+        raise FaultPlanError(f"{section}.{key}: expected a list of shard indices")
+    for index in value:
+        if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+            raise FaultPlanError(
+                f"{section}.{key}: expected ints >= 0, got {index!r}")
+    return tuple(value)
+
+
 @dataclass(frozen=True)
 class ShardFaults:
-    """Deterministic fleet-shard worker crashes (read by ``repro.fleet``).
+    """Deterministic fleet-shard worker faults (read by ``repro.fleet``).
 
-    ``fail`` names shard indices that always die; ``fail_rate`` kills
-    each shard with that probability, drawn from a PRNG derived from
-    the study seed + ``seed_salt`` so the same (seed, plan) pair dooms
-    the same shards every run.
+    Three kinds, in order of precedence when a shard is named by more
+    than one:
+
+    * ``fail`` / ``fail_rate`` — the worker raises (a crash);
+    * ``hang`` / ``hang_rate`` — the worker goes silent for
+      ``hang_seconds`` wall seconds (no heartbeats), exercising the
+      watchdog deadline;
+    * ``slow`` / ``slow_rate`` — the worker takes ``slow_factor``×
+      its normal wall time but keeps heartbeating (must *not* trip the
+      watchdog).
+
+    Explicit indices always apply; each ``*_rate`` dooms each shard
+    with that probability, drawn from a PRNG derived from the study
+    seed + ``seed_salt`` so the same (seed, plan) pair schedules the
+    same faults every run.
     """
 
     fail: Tuple[int, ...] = ()
     fail_rate: float = 0.0
+    hang: Tuple[int, ...] = ()
+    hang_rate: float = 0.0
+    #: How long a hung worker stays silent before resuming (a watchdog
+    #: deadline shorter than this declares it dead first).
+    hang_seconds: float = 300.0
+    slow: Tuple[int, ...] = ()
+    slow_rate: float = 0.0
+    #: Wall-time multiplier for slowed shards (1.0 = no slowdown).
+    slow_factor: float = 4.0
+
+    _KEYS = ("fail", "fail_rate", "hang", "hang_rate", "hang_seconds",
+             "slow", "slow_rate", "slow_factor")
 
     @property
     def is_noop(self) -> bool:
-        return not self.fail and self.fail_rate == 0.0
+        return (not self.fail and self.fail_rate == 0.0
+                and not self.hang and self.hang_rate == 0.0
+                and not self.slow and self.slow_rate == 0.0)
+
+    @property
+    def has_hangs(self) -> bool:
+        return bool(self.hang) or self.hang_rate > 0.0
 
     @classmethod
     def from_dict(cls, raw: dict, section: str = "shards") -> "ShardFaults":
-        _reject_unknown(section, raw, ("fail", "fail_rate"))
-        fail = raw.get("fail", [])
-        if not isinstance(fail, list):
-            raise FaultPlanError(f"{section}.fail: expected a list of shard indices")
-        for index in fail:
-            if not isinstance(index, int) or isinstance(index, bool) or index < 0:
-                raise FaultPlanError(
-                    f"{section}.fail: expected ints >= 0, got {index!r}")
+        _reject_unknown(section, raw, cls._KEYS)
+        hang_seconds = _require_nonnegative(section, "hang_seconds",
+                                            raw.get("hang_seconds", 300.0))
+        if hang_seconds <= 0:
+            raise FaultPlanError(f"{section}.hang_seconds: must be > 0")
+        slow_factor = _require_nonnegative(section, "slow_factor",
+                                           raw.get("slow_factor", 4.0))
+        if slow_factor < 1.0:
+            raise FaultPlanError(f"{section}.slow_factor: must be >= 1")
         return cls(
-            fail=tuple(fail),
+            fail=_require_shard_indices(section, "fail", raw),
             fail_rate=_require_probability(section, "fail_rate",
                                            raw.get("fail_rate", 0.0)),
+            hang=_require_shard_indices(section, "hang", raw),
+            hang_rate=_require_probability(section, "hang_rate",
+                                           raw.get("hang_rate", 0.0)),
+            hang_seconds=hang_seconds,
+            slow=_require_shard_indices(section, "slow", raw),
+            slow_rate=_require_probability(section, "slow_rate",
+                                           raw.get("slow_rate", 0.0)),
+            slow_factor=slow_factor,
         )
 
 
@@ -322,8 +373,15 @@ class FaultPlan:
 
     @property
     def has_shard_faults(self) -> bool:
-        """True when the fleet runner would inject shard crashes."""
+        """True when the fleet runner would inject worker faults."""
         return self.shards is not None and not self.shards.is_noop
+
+    @property
+    def has_hang_faults(self) -> bool:
+        """True when the fleet runner must force a pool (hangs need a
+        reapable worker process — an inline hang would stall the
+        parent)."""
+        return self.shards is not None and self.shards.has_hangs
 
     @classmethod
     def from_dict(cls, raw: dict) -> "FaultPlan":

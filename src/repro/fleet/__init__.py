@@ -14,6 +14,12 @@ generation spec + shard range + analysis code version), which doubles
 as the checkpoint store: a killed run restarts from its completed
 shards.  See ``docs/fleet.md`` for the sharding model, determinism
 guarantees, and cache/resume semantics.
+
+Runs are supervised (see :mod:`repro.fleet.supervisor`): per-shard
+wall-clock deadlines enforced by a heartbeat watchdog, retry budgets
+with exponential backoff, a poison quarantine for shards that exhaust
+them, and SIGINT/SIGTERM graceful shutdown that checkpoints the
+manifest so ``--resume`` merges byte-identically.
 """
 
 from repro.fleet.cache import ShardCache
@@ -23,12 +29,20 @@ from repro.fleet.runner import (
     FleetError,
     FleetResult,
     FleetRunner,
+    QuarantinedShard,
     ShardFailure,
     ShardState,
     run_fleet,
 )
 from repro.fleet.shard import ShardFaultInjected, run_shard
 from repro.fleet.spec import FleetSpec, ShardRange, code_version, shard_key
+from repro.fleet.supervisor import (
+    RunInterrupted,
+    ShardSupervisor,
+    default_shard_deadline,
+    default_shard_retries,
+    interrupt_guard,
+)
 
 __all__ = [
     "FleetConfigError",
@@ -36,12 +50,18 @@ __all__ = [
     "FleetResult",
     "FleetRunner",
     "FleetSpec",
+    "QuarantinedShard",
+    "RunInterrupted",
     "ShardCache",
     "ShardFailure",
     "ShardFaultInjected",
     "ShardRange",
     "ShardState",
+    "ShardSupervisor",
     "code_version",
+    "default_shard_deadline",
+    "default_shard_retries",
+    "interrupt_guard",
     "merge_shard_results",
     "run_fleet",
     "run_shard",

@@ -9,7 +9,10 @@ or foreign entry simply never matches.
 Writes are atomic (temp file + ``os.replace``), so a shard is either
 fully checkpointed or absent; a killed run never leaves a torn entry.
 Corrupt files (truncated by hand, bad JSON) are treated as misses and
-quietly replaced on the next store.
+quietly replaced on the next store.  A run killed *mid-write* (SIGKILL,
+OOM, watchdog reap) can strand ``.tmp-*`` spool files; opening the
+cache sweeps any older than :data:`STALE_TMP_SECONDS` so an
+interrupt/resume cycle cannot slowly fill the cache dir with litter.
 """
 
 from __future__ import annotations
@@ -17,8 +20,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional
+
+#: Age (seconds) after which an orphaned ``.tmp-*`` spool file in the
+#: cache directory is deleted on open.  Generous: a live writer holds a
+#: tmp file for well under a second.
+STALE_TMP_SECONDS = 3600.0
 
 
 class ShardCache:
@@ -31,6 +40,26 @@ class ShardCache:
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
+        self.swept = self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Delete orphaned atomic-write spool files; returns the count."""
+        swept = 0
+        cutoff = time.time() - STALE_TMP_SECONDS
+        try:
+            entries = list(self.root.iterdir())
+        except OSError:
+            return 0
+        for entry in entries:
+            if not entry.name.startswith(".tmp-"):
+                continue
+            try:
+                if entry.stat().st_mtime < cutoff:
+                    entry.unlink()
+                    swept += 1
+            except OSError:
+                continue  # already gone, or another run's live write
+        return swept
 
     def path_for(self, key: str) -> Path:
         return self.root / f"shard-{key}.json"

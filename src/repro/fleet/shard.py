@@ -36,6 +36,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from repro.fleet.supervisor import WorkerClaim
 from repro.inspector.entropy import analyze_dataset
 from repro.inspector.generate import build_context, generate_households
 from repro.inspector.schema import InspectorDataset
@@ -49,24 +50,70 @@ class ShardFaultInjected(RuntimeError):
     """The deterministic worker crash the fault plan's ``shards`` section asks for."""
 
 
+#: Sleep quantum for the hang/slow fault loops: hangs stay silent but
+#: remain interruptible, slowdowns heartbeat once per chunk.
+_FAULT_SLEEP_CHUNK = 0.2
+
+
+def _hang(seconds: float) -> None:
+    """Go silent for ``seconds``: no heartbeats, no claim touches."""
+    deadline = time.perf_counter() + seconds
+    while True:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            return
+        time.sleep(min(_FAULT_SLEEP_CHUNK, remaining))
+
+
+def _drag(extra_seconds: float, claim: WorkerClaim) -> None:
+    """Pad wall time by ``extra_seconds`` while *keeping* the heartbeat
+    alive — a slow worker must never look hung to the watchdog."""
+    deadline = time.perf_counter() + extra_seconds
+    while True:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            return
+        time.sleep(min(_FAULT_SLEEP_CHUNK, remaining))
+        claim.touch()
+
+
 def run_shard(
     spec_dict: Dict[str, object],
     start: int,
     stop: int,
-    inject_failure: bool = False,
+    inject_fault: Optional[Dict[str, object]] = None,
     profile_hz: float = 0.0,
     events_path: Optional[str] = None,
     shard_index: Optional[int] = None,
+    claim_path: Optional[str] = None,
 ) -> Dict[str, object]:
     """Generate households ``[start, stop)`` and analyze them.
 
-    With ``inject_failure`` the worker dies *before* generating — the
-    fleet's per-shard chaos hook — so an injected crash never pollutes
-    the cache with a partial result.
+    ``claim_path`` is the supervisor's heartbeat channel: the worker
+    writes its pid there on entry and touches the file at every phase
+    boundary, so the parent's watchdog can tell slow from dead (and
+    knows which pid to reap).
+
+    ``inject_fault`` is the fleet's per-shard chaos hook, a dict with a
+    ``"kind"`` key:
+
+    * ``{"kind": "fail"}`` — raise before generating, so an injected
+      crash never pollutes the cache with a partial result;
+    * ``{"kind": "hang", "seconds": s}`` — go silent (no heartbeats)
+      for ``s`` wall seconds before working, exercising the watchdog;
+    * ``{"kind": "slow", "factor": f}`` — finish the work, then pad
+      wall time to ``f``× while still heartbeating.
+
+    The fault-free payload is byte-identical to earlier builds.
     """
-    if inject_failure:
+    claim = WorkerClaim.acquire(claim_path)
+    fault_kind = (inject_fault or {}).get("kind")
+    if fault_kind == "fail":
         raise ShardFaultInjected(
             f"fault plan killed shard covering households [{start}, {stop})")
+    if fault_kind == "hang":
+        _hang(float((inject_fault or {}).get("seconds", 300.0)))
+        claim.touch()
     started = time.perf_counter()
     profiler = SamplingProfiler(hz=profile_hz) if profile_hz > 0.0 else NULL_PROFILER
     tracer = Tracer()
@@ -84,6 +131,7 @@ def run_shard(
         with use_obs(obs), obs.tracer.span("fleet.worker", start=start, stop=stop):
             events.heartbeat(kind="worker", shard=shard_index,
                              start=start, stop=stop, phase="generate")
+            claim.touch()
             with obs.tracer.span("worker.generate"):
                 context = build_context(
                     seed=int(spec_dict["seed"]),
@@ -99,6 +147,10 @@ def run_shard(
                     dataset, validate_oui=bool(spec_dict["validate_oui"]))
             events.heartbeat(kind="worker", shard=shard_index,
                              start=start, stop=stop, phase="analyze")
+            claim.touch()
+            if fault_kind == "slow":
+                factor = float((inject_fault or {}).get("factor", 4.0))
+                _drag((factor - 1.0) * (time.perf_counter() - started), claim)
 
             vendor_counts: Dict[str, int] = {}
             product_counts: Dict[str, int] = {}

@@ -10,6 +10,12 @@ The shard cache key hashes the spec subset that determines a shard's
 bytes **plus the code version** — a digest of the generator/analysis
 sources — so editing the generator invalidates every cached shard
 instead of silently serving stale results.
+
+Env knobs resolved here: ``REPRO_FLEET_SHARD_SIZE`` (households per
+shard) and ``REPRO_FLEET_WORKERS`` (pool width).  The supervision
+defaults — ``REPRO_FLEET_RETRIES`` and ``REPRO_FLEET_DEADLINE`` — live
+in :mod:`repro.fleet.supervisor`, which derives each shard's watchdog
+deadline from :attr:`ShardRange.households` when no override is given.
 """
 
 from __future__ import annotations

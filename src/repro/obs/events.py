@@ -15,10 +15,14 @@ Every record carries ``{"v": SCHEMA_VERSION, "seq": N, "event": NAME,
 "wall": unix-seconds, "pid": ...}`` plus event-specific fields; see
 ``docs/observability.md`` for the full schema.  Events emitted today:
 
-* ``run_start`` / ``run_end`` — one pair per CLI run
+* ``run_start`` / ``run_end`` — one pair per CLI run; ``run_end``
+  always carries ``outcome`` (``ok`` / ``failed`` / ``interrupted``)
 * ``stage_start`` / ``stage_end`` — per :data:`StudyPipeline.STAGES` entry
 * ``shard_queued`` / ``shard_running`` / ``shard_cached`` /
   ``shard_done`` / ``shard_failed`` — the fleet shard lifecycle
+* ``shard_retry`` / ``shard_quarantined`` / ``watchdog_timeout`` /
+  ``run_interrupted`` — the fleet supervision lifecycle (retries,
+  poison quarantine, hung-worker reaping, graceful shutdown)
 * ``fault_injected`` — one per chaos action (kind-labelled)
 * ``analysis_failed`` — one per isolated analysis crash
 * ``heartbeat`` — periodic liveness with RSS/CPU from ``/proc/self``

@@ -10,6 +10,7 @@ from repro.faults import (
     FaultPlan,
     FlapWindow,
     LinkFaults,
+    ShardFaults,
     UnresponsivePort,
 )
 from repro.faults.plan import FaultPlanError
@@ -159,3 +160,48 @@ class TestWindows:
     def test_discovery_ports_table(self):
         assert DISCOVERY_PORTS["tuyalp"] == (6666, 6667)
         assert DiscoveryMutation(probability=0.1).ports() == (5353, 1900, 6666, 6667)
+
+
+class TestShardWorkerFaults:
+    """The ``shards`` section's hang/slow worker-fault kinds."""
+
+    def test_hang_and_slow_round_trip(self):
+        plan = FaultPlan.from_dict({"shards": {
+            "hang": [2], "hang_seconds": 45.0,
+            "slow": [0, 1], "slow_rate": 0.1, "slow_factor": 3.0}})
+        assert plan.shards.hang == (2,)
+        assert plan.shards.hang_seconds == 45.0
+        assert plan.shards.slow == (0, 1)
+        assert plan.shards.slow_factor == 3.0
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_hang_and_slow_make_the_section_live(self):
+        assert ShardFaults().is_noop
+        assert not ShardFaults(hang=(1,)).is_noop
+        assert not ShardFaults(slow_rate=0.5).is_noop
+        assert ShardFaults(hang=(1,)).has_hangs
+        assert ShardFaults(hang_rate=0.2).has_hangs
+        assert not ShardFaults(slow=(1,)).has_hangs
+        plan = FaultPlan.from_dict({"shards": {"hang_rate": 0.5}})
+        assert plan.has_shard_faults and plan.has_hang_faults
+        assert plan.is_empty  # worker faults never touch the LAN
+
+    def test_hang_seconds_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="hang_seconds"):
+            FaultPlan.from_dict({"shards": {"hang": [1], "hang_seconds": 0}})
+
+    def test_slow_factor_below_one_rejected(self):
+        with pytest.raises(FaultPlanError, match="slow_factor"):
+            FaultPlan.from_dict({"shards": {"slow": [1], "slow_factor": 0.5}})
+
+    @pytest.mark.parametrize("raw", [
+        {"shards": {"hang": "2"}},
+        {"shards": {"hang": [-1]}},
+        {"shards": {"slow": [1.5]}},
+        {"shards": {"hang_rate": 2.0}},
+        {"shards": {"slow_rate": -0.1}},
+        {"shards": {"hnag": [1]}},
+    ])
+    def test_invalid_worker_fault_sections_rejected(self, raw):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict(raw)

@@ -289,16 +289,38 @@ class TestFleet:
     def test_fail_fast_shard_failure_exits_1(self, tmp_path, capsys):
         plan = tmp_path / "plan.json"
         plan.write_text('{"shards": {"fail": [1]}}', encoding="utf-8")
-        assert main(self.ARGS + ["--fault-plan", str(plan), "--fail-fast"]) == 1
+        assert main(self.ARGS + ["--fault-plan", str(plan), "--fail-fast",
+                                 "--shard-retries", "0"]) == 1
         assert "shard 1" in capsys.readouterr().err
 
     def test_keep_going_shard_failure_partial_report(self, tmp_path, capsys):
         plan = tmp_path / "plan.json"
         plan.write_text('{"shards": {"fail": [1]}}', encoding="utf-8")
-        assert main(self.ARGS + ["--fault-plan", str(plan)]) == 0
+        assert main(self.ARGS + ["--fault-plan", str(plan),
+                                 "--shard-retries", "0"]) == 0
         captured = capsys.readouterr()
         assert "1 failed" in captured.out
         assert "shard 1" in captured.err
+
+    def test_supervision_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.shard_retries == 2
+        assert args.retry_backoff == 0.5
+        assert args.shard_deadline is None
+
+    def test_deterministic_fault_quarantined_after_retries(
+            self, tmp_path, capsys):
+        """A fault keyed on the shard index fails every attempt: the
+        default retry budget exhausts and the shard is quarantined, but
+        the run still completes with a partial report (exit 0)."""
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"shards": {"fail": [1]}}', encoding="utf-8")
+        assert main(self.ARGS + ["--fault-plan", str(plan),
+                                 "--retry-backoff", "0.01"]) == 0
+        captured = capsys.readouterr()
+        assert "1 quarantined" in captured.out
+        assert "poison shard" in captured.err
+        assert "3 attempts" in captured.err
 
     def test_metrics_out_includes_fleet_counters(self, tmp_path):
         import json
@@ -381,6 +403,7 @@ class TestEventStream:
         events_path = tmp_path / "e.ndjson"
         code = main(self.FLEET + [
             "--fault-plan", str(plan), "--fail-fast",
+            "--shard-retries", "0",
             "--metrics-out", str(metrics_path),
             "--events-out", str(events_path),
         ])
@@ -397,3 +420,46 @@ class TestEventStream:
         assert "shard_failed" in names
         assert names[-1] == "run_end"
         assert records[-1]["complete"] is False
+        assert records[-1]["outcome"] == "failed"
+
+    def test_retry_and_quarantine_events_and_counters(self, tmp_path):
+        """Supervision telemetry: shard_retry per re-dispatch, one
+        shard_quarantined on budget exhaustion, run_end outcome ok."""
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"shards": {"fail": [1]}}', encoding="utf-8")
+        metrics_path = tmp_path / "m.json"
+        events_path = tmp_path / "e.ndjson"
+        code = main(self.FLEET + [
+            "--fault-plan", str(plan), "--keep-going",
+            "--retry-backoff", "0.01",
+            "--metrics-out", str(metrics_path),
+            "--events-out", str(events_path),
+        ])
+        assert code == 0
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["fleet_shard_retries_total"]["samples"][0]["value"] == 2
+        assert (metrics["fleet_shards_quarantined_total"]["samples"][0]
+                ["value"] == 1)
+
+        records = self._events(events_path)
+        names = [record["event"] for record in records]
+        assert names.count("shard_retry") == 2
+        assert names.count("shard_quarantined") == 1
+        retry = records[names.index("shard_retry")]
+        assert retry["shard"] == 1 and retry["attempt"] == 1
+        assert retry["retries_left"] == 1
+        assert names[-1] == "run_end"
+        assert records[-1]["outcome"] == "ok"
+
+    def test_run_end_outcome_on_success(self, tmp_path):
+        for argv in (
+                ["study", "--duration", "30", "--apps", "2"],
+                self.FLEET + ["--no-progress"]):
+            events_path = tmp_path / f"{argv[0]}.ndjson"
+            assert main(argv + ["--events-out", str(events_path)]) == 0
+            records = self._events(events_path)
+            assert records[-1]["event"] == "run_end"
+            assert records[-1]["outcome"] == "ok"
