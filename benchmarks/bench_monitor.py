@@ -1,0 +1,183 @@
+"""Monitor steady-state: throughput and the bounded-memory guarantee.
+
+The tentpole claim of :mod:`repro.monitor`, measured directly: a
+windowed monitor must sustain its packets/second while its memory stays
+**flat as the input grows** — the sliding window evicts whole panes, so
+absorbing 10× the traffic through the same window must not grow the
+Python-allocation peak by more than :data:`PEAK_RATIO_MAX`.  Throughput
+is the primary ``packets_per_second`` metric of ``BENCH_monitor.json``;
+the 1× vs 10× tracemalloc peaks are recorded alongside it (tracemalloc
+because it deterministically counts Python allocations — process RSS
+is allocator-noise on inputs this small, and still lands in the
+trajectory's ``rss_peak_bytes`` column via ``tools/bench_record.py``).
+
+Also runnable standalone as the CI monitor smoke::
+
+    PYTHONPATH=src python benchmarks/bench_monitor.py --smoke
+
+which additionally pins the equivalence contract: a full-window monitor
+over the same records must serialize byte-identically to the batch
+analyses.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from repro.devices.behaviors import build_testbed
+from repro.monitor import Monitor
+
+#: The 10× input may grow the windowed monitor's allocation peak by at
+#: most this factor over the 1× input (the bounded-memory acceptance
+#: gate; the window itself is identical in both runs).
+PEAK_RATIO_MAX = 1.10
+
+
+def _capture_records(seed: int, duration: float):
+    testbed = build_testbed(seed=seed)
+    testbed.run(duration)
+    return list(testbed.lan.capture.records)
+
+
+def _replicate(records, times: int):
+    """Concatenate ``times`` copies, shifting timestamps so the stream
+    stays chronological (the columnar store requires capture order)."""
+    if not records:
+        return []
+    span = records[-1][0] - records[0][0] + 1.0
+    out = []
+    for i in range(times):
+        offset = i * span
+        out.extend((timestamp + offset, data)
+                   for timestamp, data in records)
+    return out
+
+
+def _run_windowed(records, window_packets: int, chunk_records: int):
+    """Absorb ``records`` through a windowed monitor; returns
+    (seconds, tracemalloc_peak_bytes, monitor)."""
+    monitor = Monitor(window_packets=window_packets)
+    chunks = [records[start:start + chunk_records]
+              for start in range(0, len(records), chunk_records)]
+    tracemalloc.start()
+    started = time.perf_counter()
+    for chunk in chunks:
+        monitor.absorb_chunk(chunk)
+    seconds = time.perf_counter() - started
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return seconds, peak, monitor
+
+
+def run_smoke(duration: float = 60.0, seed: int = 7,
+              growth: int = 10) -> dict:
+    """The CI smoke: throughput + flat-memory + batch equivalence."""
+    base = _capture_records(seed, duration)
+    if not base:
+        raise RuntimeError("capture produced no records")
+    # The 1× stream must already overflow the window, so the 10× run
+    # only adds evictions — never a bigger window.
+    window_packets = max(256, len(base) // 3)
+    chunk_records = max(128, window_packets // 4)
+
+    seconds_1x, peak_1x, _ = _run_windowed(base, window_packets,
+                                           chunk_records)
+    grown = _replicate(base, growth)
+    seconds_10x, peak_10x, monitor = _run_windowed(grown, window_packets,
+                                                   chunk_records)
+    assert monitor.packets_seen == len(grown)
+    assert monitor.window.evicted_panes > 0, "10x run never evicted"
+    peak_ratio = peak_10x / peak_1x
+    assert peak_ratio <= PEAK_RATIO_MAX, (
+        f"monitor peak allocations grew {peak_ratio:.2f}x on {growth}x "
+        f"input (limit {PEAK_RATIO_MAX}x): the window is not bounding "
+        "memory")
+
+    _check_batch_equivalence(base)
+
+    return {
+        "packets": len(grown),
+        "seconds": seconds_10x,
+        "packets_per_second": len(grown) / seconds_10x,
+        "seconds_1x": seconds_1x,
+        "window_packets": window_packets,
+        "chunk_records": chunk_records,
+        "tracemalloc_peak_1x": peak_1x,
+        "tracemalloc_peak_10x": peak_10x,
+        "peak_ratio": peak_ratio,
+        "evicted_panes": monitor.window.evicted_panes,
+    }
+
+
+def _check_batch_equivalence(records) -> None:
+    """A full-window monitor must equal the batch artifacts, byte for
+    byte — the same contract ``tests/monitor`` pins, re-asserted here
+    so a perf refactor cannot silently trade correctness for speed."""
+    from repro.core.device_graph import build_device_graph
+    from repro.core.exposure import analyze_exposure
+    from repro.core.periodicity import analyze_periodicity
+    from repro.core.protocol_census import census_from_capture
+    from repro.net.columnar import PacketTable
+    from repro.net.decode import DecodeErrorLog
+    from repro.net.index import CaptureIndex
+    from repro.report.artifacts import (
+        canonical_json,
+        census_artifact,
+        device_graph_artifact,
+        exposure_artifact,
+        periodicity_artifact,
+    )
+
+    table = PacketTable()
+    table.extend_records(records, DecodeErrorLog())
+    index = CaptureIndex(table)
+    identity = {mac: mac for mac in index.by_src_mac}
+    batch = {
+        "census": census_artifact(census_from_capture(index, identity)),
+        "device_graph": device_graph_artifact(
+            build_device_graph(index, identity, {})),
+        "exposure": exposure_artifact(analyze_exposure(index, identity)),
+        "periodicity": periodicity_artifact(
+            analyze_periodicity(index, identity)),
+    }
+    monitor = Monitor()
+    for start in range(0, len(records), 1024):
+        monitor.absorb_chunk(records[start:start + 1024])
+    snapshot = monitor.snapshot()
+    for name, expected in batch.items():
+        got = canonical_json(snapshot["artifacts"][name])
+        assert got == canonical_json(expected), (
+            f"monitor {name} diverged from the batch artifact")
+
+
+# -- pytest-bench entry points ------------------------------------------------------
+
+
+def bench_monitor_steady_state(benchmark, stage_timings):
+    """Windowed absorb throughput + flat-memory gate, one pass."""
+    started = time.perf_counter()
+    results = benchmark.pedantic(run_smoke, rounds=1, iterations=1)
+    stage_timings["monitor_steady_state"] = time.perf_counter() - started
+    assert results["peak_ratio"] <= PEAK_RATIO_MAX
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI smoke and print JSON numbers")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="simulated capture seconds (default 60)")
+    options = parser.parse_args(argv)
+    if not options.smoke:
+        parser.error("use --smoke (pytest runs the bench entry points)")
+    results = run_smoke(duration=options.duration)
+    print(json.dumps(results, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,13 @@ Installed as the ``repro`` console script::
     repro classify     PCAP [--crossval]
     repro ingest       PCAP [--device-map JSON] [--chunk-records N]
                        [--json PATH]
+    repro monitor      [PCAP | --simulate] [--follow] [--window-packets N]
+                       [--window-seconds S] [--snapshot-every N]
+                       [--snapshot-dir DIR] [--json PATH] [--device-map JSON]
+                       [--chunk-records N] [--seed N] [--duration SECONDS]
+                       [--poll-interval S] [--idle-timeout S] [--max-packets N]
+                       [--metrics-out PATH] [--events-out PATH]
+                       [--log-level LEVEL]
     repro scan         [--seed N]
     repro fingerprint  [--seed N] [--mitigation NAME]
     repro catalog
@@ -25,9 +32,13 @@ Installed as the ``repro`` console script::
 from a real network), making the classifier pair usable outside the
 simulation.  ``repro ingest`` streams an external pcap into the
 columnar packet store in bounded-memory chunks and runs the full §4–§6
-analysis stack over it.  ``repro fleet`` is the sharded, cached, multi-process
-version of the Table 2 crowdsourced analysis; see ``docs/cli.md`` for
-the complete flag reference and ``docs/fleet.md`` for its guarantees.
+analysis stack over it.  ``repro monitor`` is the *online* counterpart:
+it consumes a (possibly still growing) pcap or the simulator's live
+feed and keeps the four core analyses current over a bounded sliding
+window (see ``docs/monitor.md``).  ``repro fleet`` is the sharded,
+cached, multi-process version of the Table 2 crowdsourced analysis;
+see ``docs/cli.md`` for the complete flag reference and
+``docs/fleet.md`` for its guarantees.
 """
 
 from __future__ import annotations
@@ -386,6 +397,54 @@ def _load_device_map(path: Optional[str]):
     return macs, vendors, categories, None
 
 
+def _ingest_empty_report(args: argparse.Namespace, device_macs,
+                         chunks: int) -> int:
+    """The ``repro ingest`` success path for a capture with no packets.
+
+    An empty or header-only pcap is a *normal* outcome (a capture that
+    has not started yet, a quiet network), so this exits 0 with an
+    explicit all-zero report — same JSON payload shape as a real run —
+    instead of failing.
+    """
+    import json
+
+    mapped = 0 if device_macs is None else len(device_macs)
+    print(f"{args.pcap}: capture contains no packets (empty capture)")
+    print(f"devices: {mapped} mapped, 0 communicating locally, "
+          "0 device pairs")
+    if args.json:
+        payload = {
+            "pcap": args.pcap,
+            "packets": 0,
+            "bytes": 0,
+            "chunks": chunks,
+            "quarantined": {},
+            "protocol_counts": {},
+            "census_passive": {},
+            "graph_summary": {
+                "devices_total": mapped,
+                "devices_communicating": 0,
+                "device_pairs": 0,
+                "pairs_tcp_and_udp": 0,
+            },
+            "exposure": {},
+            "responses_by_category": {},
+            "periodicity": {"detections": 0, "periodic_fraction": 0.0},
+            "threat": {
+                "plaintext_http_devices": [],
+                "http_servers": [],
+                "tls_devices": [],
+            },
+            "crossval": {
+                "total_units": 0, "agree": 0, "disagree": 0, "neither": 0,
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"artifacts written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     import json
 
@@ -407,14 +466,22 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     if error:
         print(f"repro ingest: error: {error}", file=sys.stderr)
         return 2
+    import os
+
     try:
+        if os.path.getsize(args.pcap) == 0:
+            # A zero-byte capture file is what a tcpdump that was killed
+            # before its first write leaves behind: an empty capture,
+            # not a malformed one.
+            return _ingest_empty_report(args, device_macs, chunks=0)
         result = ingest_pcap(args.pcap, chunk_records=args.chunk_records)
     except (OSError, ValueError) as error:
         print(f"error: cannot ingest {args.pcap}: {error}", file=sys.stderr)
         return 1
     if len(result) == 0:
-        print("error: capture contains no packets", file=sys.stderr)
-        return 1
+        # Header-only pcap: valid, just nothing captured yet.
+        return _ingest_empty_report(args, device_macs,
+                                    chunks=result.stats.chunks)
     index = result.index
     if device_macs is None:
         # No map supplied: every observed source MAC is its own device.
@@ -483,6 +550,143 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"artifacts written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _check_monitor_args(args: argparse.Namespace) -> Optional[str]:
+    """Config validation for ``repro monitor``; message or ``None``."""
+    if args.simulate and args.pcap:
+        return "provide a PCAP path or --simulate, not both"
+    if not args.simulate and not args.pcap:
+        return "provide a PCAP path or --simulate"
+    if args.follow and not args.pcap:
+        return "--follow requires a PCAP path"
+    if args.snapshot_every is not None and not args.snapshot_dir:
+        return "--snapshot-every requires --snapshot-dir"
+    for flag, positive in (
+        ("chunk_records", True), ("window_packets", True),
+        ("window_seconds", True), ("snapshot_every", True),
+        ("duration", True), ("idle_timeout", True),
+        ("max_packets", True), ("poll_interval", False),
+    ):
+        value = getattr(args, flag)
+        if value is None:
+            continue
+        if value < 0 or (positive and value == 0):
+            kind = "positive" if positive else "non-negative"
+            return (f"--{flag.replace('_', '-')} must be {kind}, "
+                    f"got {value}")
+    return None
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.monitor import Monitor, follow_pcap_chunks, simulated_chunks
+    from repro.net.ingest import iter_pcap_chunks
+
+    error = _check_monitor_args(args) or _check_output_paths(args)
+    if error:
+        print(f"repro monitor: error: {error}", file=sys.stderr)
+        return 2
+    device_macs, vendors, _categories, error = _load_device_map(args.device_map)
+    if error:
+        print(f"repro monitor: error: {error}", file=sys.stderr)
+        return 2
+    if args.snapshot_dir:
+        try:
+            os.makedirs(args.snapshot_dir, exist_ok=True)
+        except OSError as oserror:
+            print(f"repro monitor: error: --snapshot-dir: {oserror}",
+                  file=sys.stderr)
+            return 2
+
+    obs = _build_observability(args)
+    monitor = Monitor(
+        device_macs=device_macs,
+        device_vendor=vendors,
+        window_packets=args.window_packets,
+        window_seconds=args.window_seconds,
+        obs=obs,
+    )
+    if args.simulate:
+        chunks = simulated_chunks(seed=args.seed, duration=args.duration,
+                                  chunk_records=args.chunk_records)
+    elif args.follow:
+        chunks = follow_pcap_chunks(args.pcap,
+                                    chunk_records=args.chunk_records,
+                                    poll_interval=args.poll_interval,
+                                    idle_timeout=args.idle_timeout)
+    else:
+        chunks = iter_pcap_chunks(args.pcap,
+                                  chunk_records=args.chunk_records)
+
+    from repro.fleet.supervisor import interrupt_guard
+
+    interrupted: Optional[int] = None
+    periodic = 0
+    next_snapshot = args.snapshot_every
+    try:
+        with interrupt_guard():
+            for chunk in chunks:
+                monitor.absorb_chunk(chunk)
+                while (next_snapshot is not None
+                       and monitor.packets_seen >= next_snapshot):
+                    periodic += 1
+                    monitor.write_snapshot(os.path.join(
+                        args.snapshot_dir, f"snapshot-{periodic:06d}.json"))
+                    next_snapshot += args.snapshot_every
+                if (args.max_packets is not None
+                        and monitor.packets_seen >= args.max_packets):
+                    break
+    except KeyboardInterrupt as interrupt:
+        # SIGINT/SIGTERM mid-stream: the window is still consistent, so
+        # fall through to write the final snapshot before exiting by
+        # the 128+signum convention.
+        interrupted = getattr(interrupt, "exit_code", 130)
+    except (OSError, ValueError) as error:
+        _write_observability_outputs(obs, args)
+        print(f"repro monitor: error: {error}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.snapshot_dir:
+            monitor.write_snapshot(
+                os.path.join(args.snapshot_dir, "snapshot-final.json"))
+        if args.json:
+            monitor.write_snapshot(args.json)
+            print(f"final snapshot written to {args.json}", file=sys.stderr)
+        document = monitor.snapshot()
+    except OSError as error:
+        _write_observability_outputs(obs, args)
+        print(f"repro monitor: error: {error}", file=sys.stderr)
+        return 1
+    _write_observability_outputs(obs, args)
+
+    window = document["window"]
+    artifacts = document["artifacts"]
+    census = artifacts["census"]
+    graph = artifacts["device_graph"]["summary"]
+    exposure_cells = sum(len(kinds)
+                         for kinds in artifacts["exposure"]["cells"].values())
+    periodicity = artifacts["periodicity"]
+    print(f"monitor: {monitor.packets_seen} packets in {monitor.chunks} "
+          f"chunk(s); window holds {window['packets']} packets across "
+          f"{window['panes']} pane(s), {window['evicted_panes']} pane(s) "
+          f"evicted")
+    print(f"census: {census['total_devices']} devices across "
+          f"{len(census['passive'])} protocols; "
+          f"graph: {graph['device_pairs']} device pairs; "
+          f"exposure: {exposure_cells} cells; "
+          f"periodicity: {periodicity['group_count']} groups "
+          f"({periodicity['periodic_fraction']:.0%} periodic)")
+    if periodic:
+        print(f"{periodic} periodic snapshot(s) written to "
+              f"{args.snapshot_dir}", file=sys.stderr)
+    if interrupted is not None:
+        print(f"repro monitor: interrupted (exit {interrupted}); final "
+              "snapshot reflects the window at interrupt", file=sys.stderr)
+        return interrupted
     return 0
 
 
@@ -780,6 +984,69 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--json", metavar="PATH", default=None,
                         help="write the analysis artifacts as JSON")
     ingest.set_defaults(func=_cmd_ingest)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="online incremental analysis over a sliding window")
+    monitor.add_argument("pcap", nargs="?", default=None,
+                         help="path to a classic pcap file (omit with "
+                              "--simulate)")
+    monitor.add_argument("--simulate", action="store_true",
+                         help="consume the simulated lab's live feed "
+                              "instead of a pcap")
+    monitor.add_argument("--seed", type=int, default=7,
+                         help="simulation seed (with --simulate)")
+    monitor.add_argument("--duration", type=float, default=300.0,
+                         help="simulated seconds to stream "
+                              "(with --simulate; default 300)")
+    monitor.add_argument("--follow", action="store_true",
+                         help="tail a still-growing pcap, tcpdump-style; "
+                              "stops after --idle-timeout without new bytes")
+    monitor.add_argument("--poll-interval", type=float, default=0.5,
+                         metavar="SECONDS",
+                         help="how often --follow polls for growth "
+                              "(default 0.5)")
+    monitor.add_argument("--idle-timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="--follow gives up after this long without "
+                              "new bytes (default 10)")
+    monitor.add_argument("--device-map", metavar="JSON", default=None,
+                         help="JSON file mapping MAC -> device name (or an "
+                              "object with name/vendor/category keys); "
+                              "default: each source MAC is its own device")
+    monitor.add_argument("--chunk-records", type=int, metavar="N",
+                         default=8192,
+                         help="records absorbed per pane (default 8192)")
+    monitor.add_argument("--window-packets", type=int, metavar="N",
+                         default=None,
+                         help="evict oldest panes while the window holds "
+                              "more than N packets (default: unbounded)")
+    monitor.add_argument("--window-seconds", type=float, metavar="SECONDS",
+                         default=None,
+                         help="evict panes older than this capture-time "
+                              "span (default: unbounded)")
+    monitor.add_argument("--snapshot-every", type=int, metavar="N",
+                         default=None,
+                         help="write a numbered snapshot into "
+                              "--snapshot-dir every N absorbed packets")
+    monitor.add_argument("--snapshot-dir", metavar="DIR", default=None,
+                         help="directory for snapshot-NNNNNN.json and "
+                              "snapshot-final.json (created if missing)")
+    monitor.add_argument("--max-packets", type=int, metavar="N",
+                         default=None,
+                         help="stop after absorbing at least N packets")
+    monitor.add_argument("--json", metavar="PATH", default=None,
+                         help="write the final window snapshot as JSON")
+    monitor.add_argument("--metrics-out", metavar="PATH", default=None,
+                         help="write a JSON metrics snapshot after the run")
+    monitor.add_argument("--events-out", metavar="PATH", default=None,
+                         help="stream NDJSON window_advanced / "
+                              "snapshot_written events to PATH "
+                              "('-' streams to stderr)")
+    monitor.add_argument("--log-level", default=None,
+                         choices=["debug", "info", "warning", "error"],
+                         help="enable structured logging at this level")
+    monitor.set_defaults(func=_cmd_monitor)
 
     scan = sub.add_parser("scan", help="port- and vulnerability-scan the simulated lab")
     scan.add_argument("--seed", type=int, default=7)

@@ -207,7 +207,23 @@ def analyze_periodicity(
         dip = dip_col[rid]
         destination = ip_strings[dip] if dip >= 0 else mac_strings[dst_col[rid]]
         groups[(device, destination, str(label))].append(ts_col[rid])
+    return detect_groups(groups, min_events=min_events, use_dft=use_dft,
+                         use_autocorr=use_autocorr)
 
+
+def detect_groups(
+    groups: "Dict[Tuple[str, str, str], List[float]]",
+    min_events: int = 4,
+    use_dft: bool = True,
+    use_autocorr: bool = True,
+) -> PeriodicityResult:
+    """Run :func:`detect_period` over pre-grouped event series.
+
+    Detection order follows the mapping's iteration (first-seen) order
+    — shared by :func:`analyze_periodicity` and the incremental
+    :class:`repro.monitor.state.IncrementalPeriodicity`, whose merged
+    groups reproduce the batch first-seen order exactly.
+    """
     result = PeriodicityResult()
     for (device, destination, protocol), timestamps in groups.items():
         if len(timestamps) < min_events:

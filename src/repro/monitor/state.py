@@ -1,0 +1,505 @@
+"""Incremental, mergeable analysis state — the ``repro monitor`` core.
+
+Four state classes mirror the four batch analyses the study pipeline
+runs over a completed capture:
+
+===================  ===========================================  =====================
+state                batch function                               artifact
+===================  ===========================================  =====================
+IncrementalCensus    ``repro.core.protocol_census``               ``ProtocolCensus``
+IncrementalDevice\\  ``repro.core.device_graph``                   ``DeviceGraph``
+Graph
+IncrementalExposure  ``repro.core.exposure``                      ``ExposureMatrix``
+IncrementalPeriod\\  ``repro.core.periodicity``                    ``PeriodicityResult``
+icity
+===================  ===========================================  =====================
+
+Each state absorbs packets via ``update(packets, row_ids=None)`` over a
+columnar :class:`~repro.net.columnar.PacketTable` (or a prebuilt
+:class:`~repro.net.index.CaptureIndex`, the fast path the monitor uses
+so classifier labels are memoized once per chunk across all four
+states), and supports the exact additive merge contract the fleet
+layer proved (PR 4/5):
+
+* ``absorb(other)`` folds another state of the same configuration in;
+* ``merge(states)`` (classmethod) folds a chronological sequence;
+* ``to_dict()`` / ``from_dict()`` round-trip through plain JSON data;
+* ``fresh()`` returns an empty state with the same configuration.
+
+``finalize()`` rebuilds the batch analysis object.  When the absorbed
+rows cover a capture in chronological order the result is
+**byte-identical** to the batch function's output through
+:mod:`repro.report.artifacts` — including insertion-order-sensitive
+pieces (exposure example lists, periodicity group order), which is why
+every update path processes rows chronologically and every merge folds
+states in pane order.  The equivalence tests under ``tests/monitor``
+pin this contract.
+
+Device attribution follows the batch analyses: an explicit
+``device_macs`` map (MAC → device name) restricts every analysis to
+mapped devices, while ``device_macs=None`` selects **identity mode** —
+each observed *source* MAC is its own device, exactly what
+``repro ingest`` does when no ``--device-map`` is given.  Identity mode
+has one global dependency: the batch device graph keeps an edge only
+when both endpoints appear as a source *somewhere in the whole
+capture*.  The incremental graph therefore records candidate edges
+unfiltered and applies the endpoint filter at ``finalize()`` against
+the merged observed-source set, which reproduces the batch result for
+any chunking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.classify.labels import DISCOVERY_LABELS, Label
+from repro.core.device_graph import _DISCOVERY_PORTS, DeviceGraph
+from repro.core.exposure import ExposureMatrix, analyze_exposure
+from repro.core.periodicity import PeriodicityResult, detect_groups
+from repro.core.protocol_census import ProtocolCensus
+from repro.net.columnar import F_ARP, F_UDP, F_UNICAST, TRANSPORT_UDP
+from repro.net.index import CaptureIndex
+
+
+def _ensure_compatible(a: "IncrementalState", b: "IncrementalState") -> None:
+    if type(a) is not type(b):
+        raise ValueError(f"cannot merge {type(b).__name__} into {type(a).__name__}")
+    if a.config() != b.config():
+        raise ValueError(
+            f"cannot merge {type(a).__name__} states with different "
+            f"configurations")
+
+
+class IncrementalState:
+    """Shared contract for the four incremental analyses."""
+
+    #: Snapshot-artifact key; also the per-state name the monitor uses.
+    name = "state"
+
+    def config(self) -> Tuple:
+        """Hashable configuration; merges require equal configs."""
+        raise NotImplementedError
+
+    def fresh(self) -> "IncrementalState":
+        """An empty state with this state's configuration."""
+        raise NotImplementedError
+
+    def update(self, packets, row_ids: Optional[Sequence[int]] = None) -> None:
+        """Absorb rows (all rows by default) in chronological order."""
+        raise NotImplementedError
+
+    def absorb(self, other: "IncrementalState") -> None:
+        """Fold ``other`` (chronologically later or disjoint) into self."""
+        raise NotImplementedError
+
+    def finalize(self):
+        """Rebuild the batch analysis object from the absorbed state."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "IncrementalState":
+        raise NotImplementedError
+
+    @classmethod
+    def merge(cls, states: "Iterable[IncrementalState]") -> "IncrementalState":
+        """Fold states (in chronological pane order) into a new state."""
+        states = list(states)
+        if not states:
+            raise ValueError(f"{cls.__name__}.merge: no states to merge")
+        merged = states[0].fresh()
+        for state in states:
+            merged.absorb(state)
+        return merged
+
+
+def _device_map_out(device_macs: Optional[Dict[str, str]]):
+    return None if device_macs is None else dict(device_macs)
+
+
+class IncrementalCensus(IncrementalState):
+    """Streaming Figure 2: per-protocol device sets, additively merged."""
+
+    name = "census"
+
+    def __init__(self, device_macs: Optional[Dict[str, str]] = None,
+                 total_devices: Optional[int] = None):
+        self.device_macs = _device_map_out(device_macs)
+        self.total_devices = total_devices
+        #: protocol label -> devices observed using it passively.
+        self.passive: Dict[str, Set[str]] = {}
+        #: Identity mode only: every source MAC observed (labelled or
+        #: not) — the batch census counts them all as devices.
+        self.observed: Set[str] = set()
+
+    def config(self) -> Tuple:
+        frozen = None if self.device_macs is None \
+            else tuple(sorted(self.device_macs.items()))
+        return (frozen, self.total_devices)
+
+    def fresh(self) -> "IncrementalCensus":
+        return IncrementalCensus(self.device_macs, self.total_devices)
+
+    def update(self, packets, row_ids: Optional[Sequence[int]] = None) -> None:
+        index = CaptureIndex.ensure(packets)
+        table = index.table
+        src_col = table.src_mac
+        mac_strings = table.mac_strings
+        identity = self.device_macs is None
+        device_of = mac_strings if identity \
+            else [self.device_macs.get(mac) for mac in mac_strings]
+        label_at = index.label_at
+        passive = self.passive
+        observed = self.observed
+        rids = index.rows.rids if row_ids is None else row_ids
+        for rid in rids:
+            device = device_of[src_col[rid]]
+            if device is None:
+                continue
+            if identity:
+                observed.add(device)
+            label = label_at(rid)
+            if label is None:
+                continue
+            bucket = passive.get(str(label))
+            if bucket is None:
+                bucket = passive.setdefault(str(label), set())
+            bucket.add(device)
+
+    def absorb(self, other: "IncrementalCensus") -> None:
+        _ensure_compatible(self, other)
+        for label, devices in other.passive.items():
+            self.passive.setdefault(label, set()).update(devices)
+        self.observed.update(other.observed)
+
+    def finalize(self) -> ProtocolCensus:
+        total = self.total_devices
+        if total is None:
+            total = len(self.observed) if self.device_macs is None \
+                else len(self.device_macs)
+        census = ProtocolCensus(total_devices=total)
+        for label, devices in self.passive.items():
+            census.passive[label] = set(devices)
+        return census
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "device_macs": self.device_macs,
+            "total_devices": self.total_devices,
+            "passive": {label: sorted(devices)
+                        for label, devices in self.passive.items()},
+            "observed": sorted(self.observed),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "IncrementalCensus":
+        state = cls(raw.get("device_macs"), raw.get("total_devices"))
+        for label, devices in dict(raw.get("passive", {})).items():
+            state.passive[label] = set(devices)
+        state.observed = set(raw.get("observed", ()))
+        return state
+
+
+class IncrementalDeviceGraph(IncrementalState):
+    """Streaming Figures 1/4: the unicast device-pair edge set."""
+
+    name = "device_graph"
+
+    def __init__(self, device_macs: Optional[Dict[str, str]] = None,
+                 device_vendor: Optional[Dict[str, str]] = None):
+        self.device_macs = _device_map_out(device_macs)
+        self.device_vendor = dict(device_vendor or {})
+        #: (a, b, transport) in first-seen order (insertion-ordered
+        #: dict used as a set).  Identity mode stores *candidates* —
+        #: the both-endpoints-observed filter runs at finalize().
+        self.edges: Dict[Tuple[str, str, str], None] = {}
+        #: Identity mode only: source MACs observed so far.
+        self.observed: Set[str] = set()
+
+    def config(self) -> Tuple:
+        macs = None if self.device_macs is None \
+            else tuple(sorted(self.device_macs.items()))
+        return (macs, tuple(sorted(self.device_vendor.items())))
+
+    def fresh(self) -> "IncrementalDeviceGraph":
+        return IncrementalDeviceGraph(self.device_macs, self.device_vendor)
+
+    def update(self, packets, row_ids: Optional[Sequence[int]] = None) -> None:
+        index = CaptureIndex.ensure(packets)
+        table = index.table
+        src_col, dst_col = table.src_mac, table.dst_mac
+        sport_col, dport_col = table.src_port, table.dst_port
+        flags_col, trans_col = table.flags, table.transport
+        mac_strings = table.mac_strings
+        identity = self.device_macs is None
+        device_of = mac_strings if identity \
+            else [self.device_macs.get(mac) for mac in mac_strings]
+        label_at = index.label_at
+        edges = self.edges
+        observed = self.observed
+        rids = index.rows.rids if row_ids is None else row_ids
+        for rid in rids:
+            if identity:
+                observed.add(mac_strings[src_col[rid]])
+            if not trans_col[rid] or not flags_col[rid] & F_UNICAST:
+                continue
+            src = device_of[src_col[rid]]
+            dst = device_of[dst_col[rid]]
+            if src is None or dst is None or src == dst:
+                continue
+            # Same exclusion as the batch graph: unicast UDP discovery
+            # responses on well-known ports are not conversations.
+            if flags_col[rid] & F_UDP and (
+                sport_col[rid] in _DISCOVERY_PORTS
+                or dport_col[rid] in _DISCOVERY_PORTS
+            ):
+                label = label_at(rid)
+                if label in DISCOVERY_LABELS or label is Label.DNS:
+                    continue
+            pair = (src, dst) if src <= dst else (dst, src)
+            transport = "udp" if trans_col[rid] == TRANSPORT_UDP else "tcp"
+            edges.setdefault((pair[0], pair[1], transport))
+
+    def absorb(self, other: "IncrementalDeviceGraph") -> None:
+        _ensure_compatible(self, other)
+        for key in other.edges:
+            self.edges.setdefault(key)
+        self.observed.update(other.observed)
+
+    def finalize(self) -> DeviceGraph:
+        import networkx as nx
+
+        graph = nx.MultiGraph()
+        identity = self.device_macs is None
+        if identity:
+            graph.add_nodes_from(self.observed)
+        else:
+            graph.add_nodes_from(self.device_macs.values())
+        for a, b, transport in self.edges:
+            if identity and (a not in self.observed or b not in self.observed):
+                continue
+            graph.add_edge(a, b, transport=transport)
+        return DeviceGraph(graph=graph, device_vendor=dict(self.device_vendor))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "device_macs": self.device_macs,
+            "device_vendor": dict(self.device_vendor),
+            "edges": [list(key) for key in self.edges],
+            "observed": sorted(self.observed),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "IncrementalDeviceGraph":
+        state = cls(raw.get("device_macs"), raw.get("device_vendor"))
+        for edge in raw.get("edges", ()):
+            a, b, transport = edge
+            state.edges.setdefault((str(a), str(b), str(transport)))
+        state.observed = set(raw.get("observed", ()))
+        return state
+
+
+class IncrementalExposure(IncrementalState):
+    """Streaming Table 1: exposure cells + chronological example lists.
+
+    Each chunk runs the *batch* mining pass
+    (:func:`repro.core.exposure.analyze_exposure`) over the chunk's
+    rows into this state's matrix — one source of truth for the payload
+    miners.  Per-cell example order survives chunking because every
+    cell draws from a single bucket kind (ARP or UDP) and chunks are
+    processed chronologically.
+    """
+
+    name = "exposure"
+
+    def __init__(self, device_macs: Optional[Dict[str, str]] = None):
+        self.device_macs = _device_map_out(device_macs)
+        self.matrix = ExposureMatrix()
+
+    def config(self) -> Tuple:
+        macs = None if self.device_macs is None \
+            else tuple(sorted(self.device_macs.items()))
+        return (macs,)
+
+    def fresh(self) -> "IncrementalExposure":
+        return IncrementalExposure(self.device_macs)
+
+    def update(self, packets, row_ids: Optional[Sequence[int]] = None) -> None:
+        index = CaptureIndex.ensure(packets)
+        if self.device_macs is None:
+            # Identity mode: exposure only attributes *source* MACs, so
+            # the chunk-local identity map equals the global one.
+            device_macs = {mac: mac for mac in index.by_src_mac}
+        else:
+            device_macs = self.device_macs
+        if row_ids is None:
+            arp_rids = udp_rids = None
+        else:
+            flags_col = index.table.flags
+            arp_rids = [rid for rid in row_ids if flags_col[rid] & F_ARP]
+            udp_rids = [rid for rid in row_ids if flags_col[rid] & F_UDP]
+        analyze_exposure(index, device_macs, arp_rids=arp_rids,
+                         udp_rids=udp_rids, matrix=self.matrix)
+
+    def absorb(self, other: "IncrementalExposure") -> None:
+        _ensure_compatible(self, other)
+        for protocol, kinds in other.matrix.cells.items():
+            for kind, devices in kinds.items():
+                self.matrix.cells[protocol][kind].update(devices)
+        for key, values in other.matrix.examples.items():
+            self.matrix.examples.setdefault(key, []).extend(values)
+
+    def finalize(self) -> ExposureMatrix:
+        out = ExposureMatrix()
+        for protocol, kinds in self.matrix.cells.items():
+            for kind, devices in kinds.items():
+                out.cells[protocol][kind].update(devices)
+        for key, values in self.matrix.examples.items():
+            out.examples[key] = list(values)
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "device_macs": self.device_macs,
+            "cells": {protocol: {kind: sorted(devices)
+                                 for kind, devices in kinds.items()}
+                      for protocol, kinds in self.matrix.cells.items()},
+            "examples": [[protocol, kind, list(values)]
+                         for (protocol, kind), values
+                         in self.matrix.examples.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "IncrementalExposure":
+        state = cls(raw.get("device_macs"))
+        for protocol, kinds in dict(raw.get("cells", {})).items():
+            for kind, devices in kinds.items():
+                state.matrix.cells[protocol][kind].update(devices)
+        for protocol, kind, values in raw.get("examples", ()):
+            state.matrix.examples[(protocol, kind)] = list(values)
+        return state
+
+
+class IncrementalPeriodicity(IncrementalState):
+    """Streaming Appendix D.1: per-group event series, detected lazily.
+
+    The state is the grouped timestamp series — detection
+    (:func:`repro.core.periodicity.detect_groups`) runs only at
+    ``finalize()``, over groups whose first-seen order reproduces the
+    batch order for any chunking.
+    """
+
+    name = "periodicity"
+
+    def __init__(self, device_macs: Optional[Dict[str, str]] = None,
+                 discovery_only: bool = True, min_events: int = 4,
+                 use_dft: bool = True, use_autocorr: bool = True):
+        self.device_macs = _device_map_out(device_macs)
+        self.discovery_only = discovery_only
+        self.min_events = min_events
+        self.use_dft = use_dft
+        self.use_autocorr = use_autocorr
+        #: (device, destination, protocol) -> chronological timestamps,
+        #: keys in first-seen order.
+        self.groups: Dict[Tuple[str, str, str], List[float]] = {}
+
+    def config(self) -> Tuple:
+        macs = None if self.device_macs is None \
+            else tuple(sorted(self.device_macs.items()))
+        return (macs, self.discovery_only, self.min_events,
+                self.use_dft, self.use_autocorr)
+
+    def fresh(self) -> "IncrementalPeriodicity":
+        return IncrementalPeriodicity(
+            self.device_macs, discovery_only=self.discovery_only,
+            min_events=self.min_events, use_dft=self.use_dft,
+            use_autocorr=self.use_autocorr)
+
+    def update(self, packets, row_ids: Optional[Sequence[int]] = None) -> None:
+        index = CaptureIndex.ensure(packets)
+        table = index.table
+        ts_col = table.timestamps
+        src_col, dst_col, dip_col = table.src_mac, table.dst_mac, table.dst_ip
+        mac_strings, ip_strings = table.mac_strings, table.ip_strings
+        identity = self.device_macs is None
+        device_of = mac_strings if identity \
+            else [self.device_macs.get(mac) for mac in mac_strings]
+        label_at = index.label_at
+        groups = self.groups
+        discovery_only = self.discovery_only
+        rids = index.rows.rids if row_ids is None else row_ids
+        for rid in rids:
+            device = device_of[src_col[rid]]
+            if device is None:
+                continue
+            label = label_at(rid)
+            if label is None:
+                continue
+            if discovery_only and label not in DISCOVERY_LABELS:
+                continue
+            dip = dip_col[rid]
+            destination = ip_strings[dip] if dip >= 0 \
+                else mac_strings[dst_col[rid]]
+            key = (device, destination, str(label))
+            bucket = groups.get(key)
+            if bucket is None:
+                bucket = groups.setdefault(key, [])
+            bucket.append(ts_col[rid])
+
+    def absorb(self, other: "IncrementalPeriodicity") -> None:
+        _ensure_compatible(self, other)
+        for key, timestamps in other.groups.items():
+            self.groups.setdefault(key, []).extend(timestamps)
+
+    def finalize(self) -> PeriodicityResult:
+        return detect_groups(self.groups, min_events=self.min_events,
+                             use_dft=self.use_dft,
+                             use_autocorr=self.use_autocorr)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "device_macs": self.device_macs,
+            "discovery_only": self.discovery_only,
+            "min_events": self.min_events,
+            "use_dft": self.use_dft,
+            "use_autocorr": self.use_autocorr,
+            "groups": [[device, destination, protocol, list(timestamps)]
+                       for (device, destination, protocol), timestamps
+                       in self.groups.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "IncrementalPeriodicity":
+        state = cls(raw.get("device_macs"),
+                    discovery_only=bool(raw.get("discovery_only", True)),
+                    min_events=int(raw.get("min_events", 4)),
+                    use_dft=bool(raw.get("use_dft", True)),
+                    use_autocorr=bool(raw.get("use_autocorr", True)))
+        for device, destination, protocol, timestamps in raw.get("groups", ()):
+            state.groups[(device, destination, protocol)] = [
+                float(ts) for ts in timestamps]
+        return state
+
+
+#: Snapshot-artifact name -> state class, in the order snapshots list them.
+STATE_CLASSES: Dict[str, type] = {
+    IncrementalCensus.name: IncrementalCensus,
+    IncrementalDeviceGraph.name: IncrementalDeviceGraph,
+    IncrementalExposure.name: IncrementalExposure,
+    IncrementalPeriodicity.name: IncrementalPeriodicity,
+}
+
+
+def state_from_dict(raw: Dict[str, object]) -> IncrementalState:
+    """Revive any serialized state by its ``kind`` tag."""
+    kind = raw.get("kind")
+    cls = STATE_CLASSES.get(str(kind))
+    if cls is None:
+        raise ValueError(f"unknown incremental state kind {kind!r}")
+    return cls.from_dict(raw)

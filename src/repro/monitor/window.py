@@ -1,0 +1,108 @@
+"""Pane-based sliding window with deterministic eviction.
+
+The window is a deque of immutable **panes** — one per absorbed chunk,
+each holding that chunk's four incremental states plus its packet count
+and timestamp span.  Eviction never decrements anything: expiring data
+means dropping the oldest pane whole, so the windowed result is always
+an exact additive merge of the live panes (the same merge contract the
+fleet layer uses), and eviction is deterministic by construction —
+identical chunk sequences produce identical pane sequences, eviction
+counts, and merged states, no matter when or how often the window is
+inspected.
+
+Two bounds compose (either or both may be unset):
+
+* ``window_packets`` — after each push, the oldest panes are evicted
+  while the window holds *more* than this many packets and more than
+  one pane.  A single oversized pane is never evicted, so the window
+  always contains the newest chunk.
+* ``window_seconds`` — panes whose newest timestamp has fallen more
+  than this far behind the newest pane's newest timestamp are evicted.
+
+Memory therefore stays ``O(window)``: at most
+``window_packets + chunk_size`` packets of state, independent of how
+long the capture grows (see ``docs/monitor.md`` for the bounds table).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+
+@dataclass
+class Pane:
+    """One absorbed chunk: its states plus bookkeeping for eviction."""
+
+    seq: int
+    packets: int
+    first_timestamp: float
+    last_timestamp: float
+    states: Dict[str, object] = field(default_factory=dict)
+
+
+class SlidingWindow:
+    """A deque of panes under packet-count and/or time-span bounds."""
+
+    def __init__(self, window_packets: Optional[int] = None,
+                 window_seconds: Optional[float] = None):
+        if window_packets is not None and window_packets <= 0:
+            raise ValueError(
+                f"window_packets must be positive, got {window_packets}")
+        if window_seconds is not None and window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {window_seconds}")
+        self.window_packets = window_packets
+        self.window_seconds = window_seconds
+        self.panes: Deque[Pane] = deque()
+        #: Packets across live panes.
+        self.packets = 0
+        #: Lifetime eviction tallies (monotonic).
+        self.evicted_panes = 0
+        self.evicted_packets = 0
+
+    def __len__(self) -> int:
+        return len(self.panes)
+
+    @property
+    def first_timestamp(self) -> Optional[float]:
+        return self.panes[0].first_timestamp if self.panes else None
+
+    @property
+    def last_timestamp(self) -> Optional[float]:
+        return self.panes[-1].last_timestamp if self.panes else None
+
+    def _pop_oldest(self) -> Pane:
+        pane = self.panes.popleft()
+        self.packets -= pane.packets
+        self.evicted_panes += 1
+        self.evicted_packets += pane.packets
+        return pane
+
+    def push(self, pane: Pane) -> List[Pane]:
+        """Append a pane; returns the panes evicted by the bounds."""
+        self.panes.append(pane)
+        self.packets += pane.packets
+        evicted: List[Pane] = []
+        if self.window_packets is not None:
+            while len(self.panes) > 1 and self.packets > self.window_packets:
+                evicted.append(self._pop_oldest())
+        if self.window_seconds is not None:
+            horizon = self.panes[-1].last_timestamp - self.window_seconds
+            while len(self.panes) > 1 and self.panes[0].last_timestamp < horizon:
+                evicted.append(self._pop_oldest())
+        return evicted
+
+    def merged(self) -> Dict[str, object]:
+        """Merge the live panes' states, oldest first (chronological).
+
+        Returns ``{}`` when no pane has been pushed yet.
+        """
+        if not self.panes:
+            return {}
+        merged: Dict[str, object] = {}
+        for name in self.panes[0].states:
+            states = [pane.states[name] for pane in self.panes]
+            merged[name] = type(states[0]).merge(states)
+        return merged

@@ -142,6 +142,11 @@ class ApCapture:
         #: Malformed frames are quarantined (counted, sampled) here
         #: instead of ever raising mid-analysis.
         self.decode_errors = DecodeErrorLog()
+        #: Live subscribers called as ``tap(timestamp, frame_bytes)`` on
+        #: every observed frame — how ``repro monitor --simulate``
+        #: streams frames without the capture retaining them
+        #: (``keep_bytes=False`` keeps the capture itself O(1)).
+        self.frame_taps: List[callable] = []
         obs = get_obs()
         self._obs = obs
         if obs.enabled:
@@ -176,6 +181,9 @@ class ApCapture:
             self._bytes_observed_total.inc(len(frame_bytes))
         if self.keep_bytes:
             self._records.append((timestamp, frame_bytes))
+        if self.frame_taps:
+            for tap in self.frame_taps:
+                tap(timestamp, frame_bytes)
 
     # -- access -----------------------------------------------------------------
 

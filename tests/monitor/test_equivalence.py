@@ -1,0 +1,183 @@
+"""The monitor's core contract: incremental ≡ batch, byte for byte.
+
+For each of the four incremental analyses, over both device modes
+(identity and explicit map):
+
+* a full-window monitor's ``finalize()`` must serialize byte-identically
+  to the batch analysis through :mod:`repro.report.artifacts`;
+* splitting the capture at *random* points and folding the pieces with
+  ``merge(update(a), update(b)) ≡ update(a + b)`` must not change a
+  byte;
+* ``to_dict()`` / ``from_dict()`` must round-trip without changing the
+  finalized artifact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.device_graph import build_device_graph
+from repro.core.exposure import analyze_exposure
+from repro.core.periodicity import analyze_periodicity
+from repro.core.protocol_census import census_from_capture
+from repro.monitor import Monitor
+from repro.monitor.state import (
+    IncrementalCensus,
+    IncrementalDeviceGraph,
+    IncrementalExposure,
+    IncrementalPeriodicity,
+    state_from_dict,
+)
+from repro.report.artifacts import (
+    canonical_json,
+    census_artifact,
+    device_graph_artifact,
+    exposure_artifact,
+    periodicity_artifact,
+)
+
+STATE_FACTORIES = {
+    "census": IncrementalCensus,
+    "device_graph": IncrementalDeviceGraph,
+    "exposure": IncrementalExposure,
+    "periodicity": IncrementalPeriodicity,
+}
+
+
+def _identity_map(index):
+    return {mac: mac for mac in index.by_src_mac}
+
+
+def _name_map(index):
+    return {mac: f"dev-{i:02d}"
+            for i, mac in enumerate(sorted(index.by_src_mac))}
+
+
+def _batch_artifacts(index, device_macs):
+    return {
+        "census": canonical_json(census_artifact(
+            census_from_capture(index, device_macs))),
+        "device_graph": canonical_json(device_graph_artifact(
+            build_device_graph(index, device_macs, {}))),
+        "exposure": canonical_json(exposure_artifact(
+            analyze_exposure(index, device_macs))),
+        "periodicity": canonical_json(periodicity_artifact(
+            analyze_periodicity(index, device_macs))),
+    }
+
+
+def _monitor_artifacts(records, device_macs, chunk):
+    monitor = Monitor(device_macs=device_macs)
+    for start in range(0, len(records), chunk):
+        monitor.absorb_chunk(records[start:start + chunk])
+    snapshot = monitor.snapshot()
+    return {name: canonical_json(artifact)
+            for name, artifact in snapshot["artifacts"].items()}
+
+
+class TestFullWindowByteIdentity:
+    @pytest.mark.parametrize("chunk", [10_000, 64, 257])
+    def test_identity_mode(self, lab_records, lab_index, chunk):
+        batch = _batch_artifacts(lab_index, _identity_map(lab_index))
+        got = _monitor_artifacts(lab_records, None, chunk)
+        for name, expected in batch.items():
+            assert got[name] == expected, f"{name} diverged at chunk={chunk}"
+
+    @pytest.mark.parametrize("chunk", [10_000, 313])
+    def test_mapped_mode(self, lab_records, lab_index, chunk):
+        names = _name_map(lab_index)
+        batch = _batch_artifacts(lab_index, names)
+        got = _monitor_artifacts(lab_records, names, chunk)
+        for name, expected in batch.items():
+            assert got[name] == expected, f"{name} diverged at chunk={chunk}"
+
+
+class TestRandomSplitMerge:
+    """Property-style: random split points must never change a byte."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_merge_of_random_splits_equals_single_update(
+            self, lab_records, lab_index, seed):
+        rng = random.Random(seed)
+        n = len(lab_index.table)
+        cuts = sorted(rng.sample(range(1, n), rng.randint(1, 6)))
+        bounds = list(zip([0] + cuts, cuts + [n]))
+        device_macs = None if seed % 2 == 0 else _name_map(lab_index)
+        for name, factory in STATE_FACTORIES.items():
+            whole = factory(device_macs)
+            whole.update(lab_index)
+            parts = []
+            for start, stop in bounds:
+                part = factory(device_macs)
+                part.update(lab_index, row_ids=range(start, stop))
+                parts.append(part)
+            merged = factory.merge(parts)
+            assert _serialize(name, merged) == _serialize(name, whole), (
+                f"{name}: merge over splits {cuts} diverged")
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_pairwise_merge_is_associative_with_absorb(
+            self, lab_records, lab_index, seed):
+        rng = random.Random(seed)
+        n = len(lab_index.table)
+        cut = rng.randint(1, n - 1)
+        for name, factory in STATE_FACTORIES.items():
+            a = factory(None)
+            a.update(lab_index, row_ids=range(0, cut))
+            b = factory(None)
+            b.update(lab_index, row_ids=range(cut, n))
+            a.absorb(b)
+            whole = factory(None)
+            whole.update(lab_index)
+            assert _serialize(name, a) == _serialize(name, whole)
+
+
+class TestSerializationRoundTrip:
+    def test_to_dict_from_dict_preserves_finalized_artifact(self, lab_index):
+        for name, factory in STATE_FACTORIES.items():
+            for device_macs in (None, _name_map(lab_index)):
+                state = factory(device_macs)
+                state.update(lab_index)
+                revived = state_from_dict(state.to_dict())
+                assert type(revived) is type(state)
+                assert revived.config() == state.config()
+                assert _serialize(name, revived) == _serialize(name, state)
+
+    def test_round_tripped_states_still_merge(self, lab_index):
+        n = len(lab_index.table)
+        for name, factory in STATE_FACTORIES.items():
+            a = factory(None)
+            a.update(lab_index, row_ids=range(0, n // 2))
+            b = factory(None)
+            b.update(lab_index, row_ids=range(n // 2, n))
+            merged = factory.merge(
+                [state_from_dict(a.to_dict()), state_from_dict(b.to_dict())])
+            whole = factory(None)
+            whole.update(lab_index)
+            assert _serialize(name, merged) == _serialize(name, whole)
+
+    def test_merge_rejects_mismatched_configs(self, lab_index):
+        a = IncrementalCensus(None)
+        b = IncrementalCensus({"02:00:00:00:00:01": "thing"})
+        with pytest.raises(ValueError, match="configurations"):
+            a.absorb(b)
+        with pytest.raises(ValueError, match="merge"):
+            IncrementalCensus.merge([])
+
+    def test_state_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown incremental state"):
+            state_from_dict({"kind": "nope"})
+
+
+_SERIALIZERS = {
+    "census": census_artifact,
+    "device_graph": device_graph_artifact,
+    "exposure": exposure_artifact,
+    "periodicity": periodicity_artifact,
+}
+
+
+def _serialize(name, state):
+    return canonical_json(_SERIALIZERS[name](state.finalize()))

@@ -1,0 +1,160 @@
+"""Sliding-window semantics: bounds, deterministic eviction, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.monitor import Monitor, Pane, SlidingWindow
+from repro.monitor.state import IncrementalCensus
+from repro.report.artifacts import canonical_json
+
+
+def _pane(seq, packets, first, last):
+    return Pane(seq=seq, packets=packets, first_timestamp=first,
+                last_timestamp=last, states={})
+
+
+class TestBounds:
+    def test_rejects_non_positive_bounds(self):
+        with pytest.raises(ValueError, match="window_packets"):
+            SlidingWindow(window_packets=0)
+        with pytest.raises(ValueError, match="window_seconds"):
+            SlidingWindow(window_seconds=-1.0)
+
+    def test_unbounded_window_never_evicts(self):
+        window = SlidingWindow()
+        for seq in range(50):
+            assert window.push(_pane(seq, 100, seq, seq + 1)) == []
+        assert len(window) == 50 and window.packets == 5000
+        assert window.evicted_panes == 0
+
+    def test_packet_bound_evicts_oldest_whole_panes(self):
+        window = SlidingWindow(window_packets=250)
+        assert window.push(_pane(1, 100, 0, 1)) == []
+        assert window.push(_pane(2, 100, 1, 2)) == []
+        # Third push reaches 300 > 250: pane 1 is evicted, whole.
+        assert [p.seq for p in window.push(_pane(3, 100, 2, 3))] == [1]
+        assert [p.seq for p in window.panes] == [2, 3]
+        assert window.packets == 200
+        assert window.evicted_panes == 1 and window.evicted_packets == 100
+
+    def test_single_oversized_pane_survives(self):
+        window = SlidingWindow(window_packets=10)
+        evicted = window.push(_pane(1, 500, 0, 1))
+        assert evicted == [] and len(window) == 1
+        evicted = window.push(_pane(2, 500, 1, 2))
+        assert [p.seq for p in evicted] == [1]
+        assert [p.seq for p in window.panes] == [2]
+
+    def test_time_bound_evicts_stale_panes(self):
+        window = SlidingWindow(window_seconds=10.0)
+        window.push(_pane(1, 10, 0.0, 1.0))
+        window.push(_pane(2, 10, 5.0, 6.0))
+        evicted = window.push(_pane(3, 10, 14.0, 15.0))
+        # Horizon is 15 - 10 = 5; pane 1 (last_timestamp 1.0) expires.
+        assert [p.seq for p in evicted] == [1]
+        assert [p.seq for p in window.panes] == [2, 3]
+
+    def test_both_bounds_compose(self):
+        window = SlidingWindow(window_packets=25, window_seconds=5.0)
+        window.push(_pane(1, 10, 0.0, 1.0))
+        window.push(_pane(2, 10, 1.0, 2.0))
+        evicted = window.push(_pane(3, 10, 9.0, 10.0))
+        # Packet bound drops pane 1 (30 > 25); time bound drops pane 2
+        # (2.0 < 10.0 - 5.0).
+        assert [p.seq for p in evicted] == [1, 2]
+
+    def test_merged_empty_window(self):
+        assert SlidingWindow().merged() == {}
+        monitor = Monitor()
+        snapshot = monitor.snapshot()
+        assert snapshot["artifacts"]["census"]["total_devices"] == 0
+        assert snapshot["window"]["packets"] == 0
+
+
+class TestEvictionDeterminism:
+    def test_identical_runs_are_byte_identical(self, lab_records):
+        def run():
+            monitor = Monitor(window_packets=700)
+            for start in range(0, len(lab_records), 256):
+                monitor.absorb_chunk(lab_records[start:start + 256])
+            return (canonical_json(monitor.snapshot()),
+                    monitor.window.evicted_panes,
+                    monitor.window.evicted_packets)
+
+        first, second = run(), run()
+        assert first == second
+
+    def test_windowed_census_equals_batch_over_surviving_rows(
+            self, lab_records):
+        """The window's merged state IS the batch state of its rows."""
+        chunk = 256
+        monitor = Monitor(window_packets=900)
+        for start in range(0, len(lab_records), chunk):
+            monitor.absorb_chunk(lab_records[start:start + chunk])
+        # Pane seq is 1-based and chunks are fixed-size, so the oldest
+        # live pane pins the exact record slice the window covers.
+        first_seq = monitor.window.panes[0].seq
+        survivors = lab_records[(first_seq - 1) * chunk:]
+        assert sum(p.packets for p in monitor.window.panes) == len(survivors)
+
+        from repro.net.columnar import PacketTable
+        from repro.net.decode import DecodeErrorLog
+        from repro.net.index import CaptureIndex
+
+        table = PacketTable()
+        table.extend_records(survivors, DecodeErrorLog())
+        index = CaptureIndex(table)
+        batch = IncrementalCensus(None)
+        batch.update(index)
+        merged = monitor.window.merged()["census"]
+        from repro.report.artifacts import census_artifact
+
+        assert canonical_json(census_artifact(merged.finalize())) == \
+            canonical_json(census_artifact(batch.finalize()))
+
+
+class TestFaultPlanDeterminism:
+    """Corrupted/truncated frames must not break eviction determinism."""
+
+    @pytest.fixture(scope="class")
+    def faulty_records(self):
+        from repro.devices.behaviors import build_testbed
+
+        plan = FaultPlan.from_dict({
+            "name": "monitor-chaos",
+            "links": [{
+                "src": "*", "dst": "*",
+                "loss": 0.05, "truncate": 0.05,
+                "corrupt": 0.05, "corrupt_bits": 16,
+            }],
+        })
+        testbed = build_testbed(seed=13)
+        FaultInjector(plan, seed=13).install(testbed.lan)
+        testbed.run(90.0)
+        return list(testbed.lan.capture.records)
+
+    def test_two_runs_identical_under_faults(self, faulty_records):
+        def run():
+            monitor = Monitor(window_packets=500)
+            for start in range(0, len(faulty_records), 200):
+                monitor.absorb_chunk(faulty_records[start:start + 200])
+            return (canonical_json(monitor.snapshot()),
+                    monitor.window.evicted_panes,
+                    dict(monitor.errors.counts))
+
+        first, second = run(), run()
+        assert first == second
+
+    def test_quarantined_frames_are_counted_not_fatal(self, faulty_records):
+        monitor = Monitor()
+        for start in range(0, len(faulty_records), 500):
+            monitor.absorb_chunk(faulty_records[start:start + 500])
+        snapshot = monitor.snapshot()
+        # Decode is total: corrupted frames are counted per reason but
+        # still flow through as rows, so nothing goes missing.
+        quarantined = sum(snapshot["stream"]["quarantined"].values())
+        assert quarantined > 0
+        assert monitor.packets_seen == len(faulty_records)

@@ -125,6 +125,40 @@ class TestIngestCli:
         assert code == 1
         assert "cannot ingest" in capsys.readouterr().err
 
+    def test_cli_header_only_pcap_exits_zero(self, tmp_path, capsys):
+        """A valid pcap with no records is an empty capture, not an error."""
+        from repro.net.pcap import PcapWriter
+
+        path = tmp_path / "header_only.pcap"
+        PcapWriter(path).close()
+        out = tmp_path / "empty.json"
+        code = main(["ingest", str(path), "--json", str(out)])
+        assert code == 0
+        assert "capture contains no packets" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["packets"] == 0 and payload["bytes"] == 0
+        assert payload["graph_summary"]["device_pairs"] == 0
+        # Same payload key set as a populated run, so downstream
+        # consumers need no special casing.
+        assert {"census_passive", "exposure", "periodicity", "threat",
+                "crossval"} <= payload.keys()
+
+    def test_cli_zero_byte_pcap_exits_zero(self, tmp_path, capsys):
+        """A zero-byte file (capture never started) is also empty, not bad."""
+        path = tmp_path / "zero.pcap"
+        path.write_bytes(b"")
+        code = main(["ingest", str(path)])
+        assert code == 0
+        assert "capture contains no packets" in capsys.readouterr().out
+
+    def test_cli_truncated_header_still_fails(self, tmp_path, capsys):
+        """A file with a *partial* global header stays a hard error."""
+        path = tmp_path / "truncated.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1\x02\x00")
+        code = main(["ingest", str(path)])
+        assert code == 1
+        assert "cannot ingest" in capsys.readouterr().err
+
     def test_cli_bad_device_map_fails(self, mixed_pcap, tmp_path, capsys):
         path, _ = mixed_pcap
         bad = tmp_path / "bad.json"

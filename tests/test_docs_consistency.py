@@ -24,6 +24,10 @@ def test_every_markdown_link_resolves():
     assert check_docs.check_links() == []
 
 
+def test_every_docs_page_is_linked_from_readme():
+    assert check_docs.check_readme_doc_index() == []
+
+
 def test_checker_reports_undocumented_flags(monkeypatch):
     """The gate must actually bite: strip a flag from the doc text and
     the checker has to flag it."""
@@ -42,3 +46,24 @@ def test_checker_reports_undocumented_flags(monkeypatch):
     monkeypatch.setattr(check_docs, "CLI_DOC", FakeDoc())
     issues = check_docs.check_cli_docs()
     assert any("--cache-dir" in issue for issue in issues)
+
+
+def test_readme_index_check_reports_unlinked_pages(monkeypatch):
+    """Strip every docs/ link from the README text and the index check
+    has to flag each page."""
+    text = check_docs.README.read_text(encoding="utf-8")
+
+    class FakeReadme:
+        parent = check_docs.README.parent
+
+        def exists(self):
+            return True
+
+        def read_text(self, encoding=None):
+            return text.replace("docs/", "dropped/")
+
+    monkeypatch.setattr(check_docs, "README", FakeReadme())
+    issues = check_docs.check_readme_doc_index()
+    pages = sorted(check_docs.DOCS_DIR.glob("*.md"))
+    assert len(issues) == len(pages)
+    assert any("monitor.md" in issue for issue in issues)

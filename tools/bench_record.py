@@ -17,6 +17,10 @@ Benchmarks:
   ``columnar_packets_per_second`` secondary column (raw table ingest).
 * ``fleet``  → ``BENCH_fleet.json``, primary metric
   ``households_per_second`` (cold sharded run throughput).
+* ``monitor`` → ``BENCH_monitor.json``, primary metric
+  ``packets_per_second`` (steady-state windowed absorb over the 10×
+  replicated stream), plus the 1×/10× tracemalloc peaks whose ratio the
+  bench itself gates at 1.10 (the bounded-memory guarantee).
 
 ``--note`` appends a fragment to ``--notes`` (repeatable), so CI can
 stamp entries without hand-editing the JSON.
@@ -93,6 +97,25 @@ def _run_fleet(options) -> dict:
     }
 
 
+@_register("monitor", "BENCH_monitor.json", "packets_per_second")
+def _run_monitor_bench(options) -> dict:
+    from bench_monitor import run_smoke
+
+    results = run_smoke(duration=options.monitor_duration)
+    return {
+        "packets": float(results["packets"]),
+        "packets_per_second": results["packets_per_second"],
+        "seconds": results["seconds"],
+        "seconds_1x": results["seconds_1x"],
+        "window_packets": float(results["window_packets"]),
+        "chunk_records": float(results["chunk_records"]),
+        "tracemalloc_peak_1x": float(results["tracemalloc_peak_1x"]),
+        "tracemalloc_peak_10x": float(results["tracemalloc_peak_10x"]),
+        "peak_ratio": results["peak_ratio"],
+        "evicted_panes": float(results["evicted_panes"]),
+    }
+
+
 def record(name: str, options) -> BenchTrajectory:
     """Run benchmark ``name`` and append the entry to its trajectory.
 
@@ -142,6 +165,9 @@ def main(argv=None) -> int:
                         help="fleet bench: population size")
     parser.add_argument("--workers", type=int, default=2,
                         help="fleet bench: worker processes")
+    parser.add_argument("--monitor-duration", type=float, default=60.0,
+                        help="monitor bench: simulated capture seconds "
+                             "for the 1x stream (10x is replicated)")
     options = parser.parse_args(argv)
     if options.note:
         fragments = ([options.notes] if options.notes else []) + options.note

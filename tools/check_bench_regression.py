@@ -40,7 +40,8 @@ from repro.obs.bench import (  # noqa: E402
 )
 
 #: Trajectories gated by default when no files are named on the CLI.
-DEFAULT_FILES = ("BENCH_decode.json", "BENCH_fleet.json")
+DEFAULT_FILES = ("BENCH_decode.json", "BENCH_fleet.json",
+                 "BENCH_monitor.json")
 
 
 def main(argv=None) -> int:

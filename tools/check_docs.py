@@ -1,12 +1,15 @@
 """Docs-consistency checker (the CI `docs-check` gate).
 
-Two properties keep the documentation honest:
+Three properties keep the documentation honest:
 
 1. **CLI coverage** — every subcommand `build_parser()` registers, and
    every option string of every subcommand, appears literally in
    ``docs/cli.md``.  Adding a flag without documenting it fails CI.
 2. **Link integrity** — every relative markdown link in ``README.md``
    and ``docs/*.md`` resolves to an existing file (anchors stripped).
+3. **README index coverage** — every ``docs/*.md`` page is a resolved
+   link target somewhere in ``README.md``, so a new docs page cannot
+   land without an entry in the README docs index.
 
 Run standalone (exit 1 on any issue, listing all of them)::
 
@@ -25,6 +28,8 @@ from typing import List
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 CLI_DOC = REPO_ROOT / "docs" / "cli.md"
+README = REPO_ROOT / "README.md"
+DOCS_DIR = REPO_ROOT / "docs"
 
 #: Markdown docs whose relative links must resolve.
 LINKED_DOCS = ("README.md", "docs/*.md")
@@ -94,8 +99,30 @@ def check_links() -> List[str]:
     return issues
 
 
+def check_readme_doc_index() -> List[str]:
+    """Every ``docs/*.md`` page is linked from ``README.md``."""
+    if not README.exists():
+        return ["README.md: missing"]
+    text = README.read_text(encoding="utf-8")
+    linked = set()
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if path:
+            linked.add((README.parent / path).resolve())
+    issues: List[str] = []
+    for page in sorted(DOCS_DIR.glob("*.md")):
+        if page.resolve() not in linked:
+            issues.append(
+                f"README.md: docs page '{page.relative_to(REPO_ROOT)}' "
+                "is not linked from the README docs index")
+    return issues
+
+
 def run_checks() -> List[str]:
-    return check_cli_docs() + check_links()
+    return check_cli_docs() + check_links() + check_readme_doc_index()
 
 
 def main() -> int:
@@ -105,7 +132,8 @@ def main() -> int:
     if issues:
         print(f"docs-check: {len(issues)} issue(s)", file=sys.stderr)
         return 1
-    print("docs-check: CLI coverage and link integrity OK")
+    print("docs-check: CLI coverage, link integrity, and README "
+          "docs index OK")
     return 0
 
 
